@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Every figure bench prints the regenerated series table (the rows the
+paper's figure plots) and feeds pytest-benchmark one representative
+timing.  Knobs for quicker runs:
+
+* ``TAUPSM_QUERIES=q2,q7`` — restrict to a query subset;
+* ``TAUPSM_MAX_CONTEXT=30`` — drop the one-year contexts;
+* ``TAUPSM_FIG13_SIZE=MEDIUM`` — shrink Figure 13's dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def ds1_small():
+    from repro.taubench import build_dataset
+
+    return build_dataset("DS1", "SMALL")
+
+
+@pytest.fixture(scope="session")
+def ds1_large():
+    from repro.taubench import build_dataset
+
+    return build_dataset("DS1", "LARGE")
+
+
+def print_report(report: str) -> None:
+    print()
+    print("=" * 78)
+    print(report)
+    print("=" * 78)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so
+PEP 517 editable installs fail; this file lets ``pip install -e .`` take
+the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

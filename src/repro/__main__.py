@@ -1,0 +1,7 @@
+"""``python -m repro`` starts the interactive Temporal SQL/PSM shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

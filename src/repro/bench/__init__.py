@@ -1,0 +1,28 @@
+"""Experiment harness regenerating the paper's figures (§VII)."""
+
+from repro.bench.harness import CellResult, run_cell, run_grid
+from repro.bench.experiments import (
+    CONTEXTS,
+    fig12_context_small,
+    fig13_context_large,
+    fig14_scalability,
+    fig15_data_characteristics,
+    heuristic_evaluation,
+    line_counts,
+)
+from repro.bench.reporting import classify_queries, format_series_table
+
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "CONTEXTS",
+    "fig12_context_small",
+    "fig13_context_large",
+    "fig14_scalability",
+    "fig15_data_characteristics",
+    "heuristic_evaluation",
+    "line_counts",
+    "classify_queries",
+    "format_series_table",
+]

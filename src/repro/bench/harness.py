@@ -1,0 +1,110 @@
+"""Run one (query, strategy, dataset, context) cell and collect metrics.
+
+Wall-clock time is environment-specific; the engine's own counters
+(routine invocations, statements executed, rows written) are the
+machine-independent cost drivers the paper's analysis is based on, so
+every cell records both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlengine.values import Date
+from repro.taubench.datasets import Dataset
+from repro.taubench.queries import QuerySpec
+from repro.temporal.errors import PerStatementInapplicableError, TemporalError
+from repro.temporal.stratum import SlicingStrategy
+
+
+@dataclass
+class CellResult:
+    """One measurement cell."""
+
+    query: str
+    strategy: str
+    dataset: str
+    context_days: int
+    seconds: float = 0.0
+    rows: int = 0
+    routine_calls: int = 0
+    statements: int = 0
+    rows_written: int = 0
+    inapplicable: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.inapplicable
+
+
+def context_bounds(dataset: Dataset, days: int) -> tuple[str, str]:
+    period = dataset.context(days)
+    return Date(period.begin).to_iso(), Date(period.end).to_iso()
+
+
+def run_cell(
+    dataset: Dataset,
+    query: QuerySpec,
+    strategy: SlicingStrategy,
+    context_days: int,
+    warm: bool = True,
+) -> CellResult:
+    """Execute one cell; returns timings and engine counters.
+
+    ``warm`` runs the statement once untimed first (the paper measured
+    with a warm cache to focus on CPU cost).
+    """
+    cell = CellResult(
+        query=query.name,
+        strategy=strategy.value,
+        dataset=dataset.spec.key,
+        context_days=context_days,
+    )
+    if strategy is SlicingStrategy.PERST and not query.perst_applicable:
+        cell.inapplicable = True
+        return cell
+    query.install(dataset)
+    begin_iso, end_iso = context_bounds(dataset, context_days)
+    sequenced = query.sequenced_sql(dataset, begin_iso, end_iso)
+    stratum = dataset.stratum
+    try:
+        if warm:
+            stratum.execute(sequenced, strategy=strategy)
+        stats = stratum.db.stats
+        before = stats.snapshot()
+        started = time.perf_counter()
+        result = stratum.execute(sequenced, strategy=strategy)
+        cell.seconds = time.perf_counter() - started
+        after = stats.snapshot()
+        cell.rows = (
+            sum(len(r) for r in result) if isinstance(result, list) else len(result)
+        )
+        cell.routine_calls = (
+            after["total_routine_calls"] - before["total_routine_calls"]
+        )
+        cell.statements = after["statements"] - before["statements"]
+        cell.rows_written = after["rows_written"] - before["rows_written"]
+    except PerStatementInapplicableError:
+        cell.inapplicable = True
+    except TemporalError as exc:
+        cell.error = str(exc)
+    return cell
+
+
+def run_grid(
+    dataset: Dataset,
+    queries: list[QuerySpec],
+    strategies: list[SlicingStrategy],
+    contexts: list[int],
+    warm: bool = True,
+) -> list[CellResult]:
+    """The full cross product of cells for one dataset."""
+    cells: list[CellResult] = []
+    for query in queries:
+        for days in contexts:
+            for strategy in strategies:
+                cells.append(run_cell(dataset, query, strategy, days, warm=warm))
+    return cells

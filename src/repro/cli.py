@@ -1,0 +1,264 @@
+"""An interactive Temporal SQL/PSM shell.
+
+Run ``python -m repro`` and type statements against a fresh stratum::
+
+    taupsm> CREATE TABLE position (emp CHAR(20), title CHAR(30));
+    taupsm> ALTER TABLE position ADD VALIDTIME;
+    taupsm> INSERT INTO position (emp, title) VALUES ('mia', 'engineer');
+    taupsm> VALIDTIME SELECT title FROM position;
+
+Meta-commands (a leading dot):
+
+=================  ========================================================
+``.help``          this text
+``.tables``        list tables with their temporal dimensions
+``.routines``      list stored routines
+``.now [DATE]``    show or set CURRENT_DATE
+``.clock [DATE]``  show or set the transaction clock (``.clock none`` resets)
+``.strategy S``    sequenced strategy: ``max`` / ``perst`` / ``auto``
+``.transform SQL`` show the conventional SQL a statement transforms into
+``.load DS SIZE``  load a τPSM dataset (e.g. ``.load DS1 SMALL``)
+``.stats``         engine counters
+``.quit``          exit
+=================  ========================================================
+
+Statements may span lines; end them with a semicolon.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional
+
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.values import Date, Null
+from repro.temporal import SlicingStrategy, TemporalResult, TemporalStratum
+
+PROMPT = "taupsm> "
+CONTINUATION = "   ...> "
+
+
+def format_value(value: Any) -> str:
+    """One cell, SQL-style (NULL, ISO dates, compact floats)."""
+    if value is Null:
+        return "NULL"
+    if isinstance(value, Date):
+        return value.to_iso()
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_table(columns: list[str], rows: list[list[Any]]) -> str:
+    """Render a result as an aligned text table."""
+    rendered = [[format_value(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    )
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def format_result(result: Any) -> str:
+    """Render any stratum result (DDL/DML/query/CALL) for the terminal."""
+    if result is None:
+        return "ok"
+    if isinstance(result, int):
+        return f"{result} row{'s' if result != 1 else ''} affected"
+    if isinstance(result, TemporalResult):
+        return format_table(result.columns, result.rows)
+    if isinstance(result, ResultSet):
+        return format_table(result.columns, result.rows)
+    if isinstance(result, list):  # CALL result sets
+        parts = [format_result(r) for r in result] or ["ok (no result sets)"]
+        return "\n\n".join(parts)
+    return str(result)
+
+
+class Shell:
+    """The REPL engine, separated from I/O for testability."""
+
+    def __init__(self, stratum: Optional[TemporalStratum] = None) -> None:
+        self.stratum = stratum if stratum is not None else TemporalStratum()
+        self.strategy = SlicingStrategy.AUTO
+        self.buffer: list[str] = []
+        self.done = False
+
+    # -- line protocol ------------------------------------------------------
+
+    @property
+    def prompt(self) -> str:
+        """The prompt to display (continuation inside a statement)."""
+        return CONTINUATION if self.buffer else PROMPT
+
+    def feed(self, line: str) -> Optional[str]:
+        """Process one input line; returns text to print (or None)."""
+        stripped = line.strip()
+        if not self.buffer and stripped.startswith("."):
+            return self.meta(stripped)
+        if not stripped and not self.buffer:
+            return None
+        self.buffer.append(line)
+        if not stripped.endswith(";"):
+            return None
+        statement = "\n".join(self.buffer)
+        self.buffer = []
+        return self.run_sql(statement)
+
+    def run_sql(self, sql: str) -> str:
+        """Execute one statement, returning rendered output or an error."""
+        try:
+            result = self.stratum.execute(sql, strategy=self.strategy)
+        except SqlError as exc:
+            return f"error: {exc}"
+        suffix = ""
+        if self.stratum.last_strategy is not None and isinstance(
+            result, (TemporalResult, list)
+        ):
+            suffix = f"\n(strategy: {self.stratum.last_strategy.value})"
+            self.stratum.last_strategy = None
+        return format_result(result) + suffix
+
+    # -- meta-commands --------------------------------------------------
+
+    def meta(self, line: str) -> str:
+        """Dispatch a dot-command."""
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (".quit", ".exit"):
+            self.done = True
+            return "bye"
+        if command == ".help":
+            return __doc__.split("Meta-commands")[1]
+        if command == ".tables":
+            return self._tables()
+        if command == ".routines":
+            return self._routines()
+        if command == ".now":
+            return self._now(argument)
+        if command == ".clock":
+            return self._clock(argument)
+        if command == ".strategy":
+            return self._strategy(argument)
+        if command == ".transform":
+            return self._transform(argument)
+        if command == ".load":
+            return self._load(argument)
+        if command == ".stats":
+            stats = self.stratum.db.stats.snapshot()
+            return "\n".join(f"{k}: {v}" for k, v in stats.items())
+        return f"unknown meta-command {command} (try .help)"
+
+    def _tables(self) -> str:
+        lines = []
+        for table in sorted(self.stratum.db.catalog.tables(), key=lambda t: t.name):
+            dims = []
+            if self.stratum.registry.is_temporal(table.name):
+                dims.append("valid time")
+            if self.stratum.tt_registry.is_temporal(table.name):
+                dims.append("transaction time")
+            dimension = f" [{', '.join(dims)}]" if dims else ""
+            lines.append(f"{table.name} ({len(table)} rows){dimension}")
+        return "\n".join(lines) if lines else "no tables"
+
+    def _routines(self) -> str:
+        lines = [
+            f"{routine.kind.lower()} {routine.name}"
+            for routine in sorted(
+                self.stratum.db.catalog.routines(), key=lambda r: r.name
+            )
+        ]
+        return "\n".join(lines) if lines else "no routines"
+
+    def _now(self, argument: str) -> str:
+        if argument:
+            try:
+                self.stratum.db.now = Date.from_iso(argument)
+            except SqlError as exc:
+                return f"error: {exc}"
+        return f"CURRENT_DATE = {self.stratum.db.now.to_iso()}"
+
+    def _clock(self, argument: str) -> str:
+        if argument:
+            if argument.lower() in ("none", "now", "reset"):
+                self.stratum.transaction_clock = None
+            else:
+                try:
+                    self.stratum.transaction_clock = Date.from_iso(argument)
+                except SqlError as exc:
+                    return f"error: {exc}"
+        suffix = "" if self.stratum.transaction_clock else " (tracking CURRENT_DATE)"
+        return f"transaction clock = {self.stratum.clock.to_iso()}{suffix}"
+
+    def _strategy(self, argument: str) -> str:
+        if argument:
+            try:
+                self.strategy = SlicingStrategy(argument.lower())
+            except ValueError:
+                return "strategy must be one of: max, perst, auto"
+        return f"sequenced strategy = {self.strategy.value}"
+
+    def _transform(self, argument: str) -> str:
+        if not argument:
+            return "usage: .transform <temporal statement>"
+        sql = argument.rstrip(";")
+        try:
+            strategy = (
+                self.strategy
+                if self.strategy is not SlicingStrategy.AUTO
+                else SlicingStrategy.MAX
+            )
+            return self.stratum.transform(sql, strategy).to_sql()
+        except SqlError as exc:
+            return f"error: {exc}"
+
+    def _load(self, argument: str) -> str:
+        parts = argument.split()
+        name = parts[0] if parts else "DS1"
+        size = parts[1] if len(parts) > 1 else "SMALL"
+        try:
+            from repro.taubench import build_dataset
+
+            dataset = build_dataset(name, size)
+        except ValueError as exc:
+            return f"error: {exc}"
+        self.stratum = dataset.stratum
+        return (
+            f"loaded {dataset.spec.key}: {dataset.total_rows()} rows across"
+            f" six temporal tables (probe item {dataset.probe_item_id},"
+            f" author {dataset.probe_author_id})"
+        )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: interactive loop on stdin."""
+    shell = Shell()
+    print("Temporal SQL/PSM shell — .help for commands, .quit to exit")
+    try:
+        while not shell.done:
+            try:
+                line = input(shell.prompt)
+            except EOFError:
+                print()
+                break
+            output = shell.feed(line)
+            if output is not None:
+                print(output)
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

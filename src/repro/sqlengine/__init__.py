@@ -1,0 +1,35 @@
+"""A from-scratch in-memory SQL + PSM engine.
+
+This subpackage is the *conventional* substrate of the reproduction: it
+plays the role DB2 played in the paper.  It knows nothing about time;
+the temporal stratum (:mod:`repro.temporal`) rewrites Temporal SQL/PSM
+into the conventional SQL/PSM this engine executes.
+
+The public entry point is :class:`repro.sqlengine.engine.Database`.
+"""
+
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import (
+    SqlError,
+    LexError,
+    ParseError,
+    CatalogError,
+    TypeError_,
+    ExecutionError,
+)
+from repro.sqlengine.storage import Table
+from repro.sqlengine.values import Date, Null, Row
+
+__all__ = [
+    "Database",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "CatalogError",
+    "TypeError_",
+    "ExecutionError",
+    "Table",
+    "Date",
+    "Null",
+    "Row",
+]

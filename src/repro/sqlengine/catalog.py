@@ -1,0 +1,113 @@
+"""The schema catalog: tables, views, and stored routines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.storage import Table
+
+
+@dataclass
+class Routine:
+    """A stored routine: the parsed CREATE FUNCTION / PROCEDURE."""
+
+    kind: str  # "FUNCTION" or "PROCEDURE"
+    definition: Union[ast.CreateFunction, ast.CreateProcedure]
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def params(self) -> list[ast.ParamDef]:
+        return self.definition.params
+
+    @property
+    def returns(self):
+        if self.kind == "FUNCTION":
+            return self.definition.returns
+        return None
+
+    @property
+    def is_table_function(self) -> bool:
+        return self.kind == "FUNCTION" and isinstance(
+            self.definition.returns, ast.RowArrayType
+        )
+
+
+class Catalog:
+    """Name → object maps with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ast.Select] = {}
+        self._routines: dict[str, Routine] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def add_table(self, table: Table, replace: bool = False) -> None:
+        key = table.name.lower()
+        if not replace and (key in self._tables or key in self._views):
+            raise CatalogError(f"table or view {table.name} already exists")
+        self._tables[key] = table
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str) -> None:
+        if self._tables.pop(name.lower(), None) is None:
+            raise CatalogError(f"no such table: {name}")
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # -- views ----------------------------------------------------------
+
+    def add_view(self, name: str, select: ast.Select, replace: bool = False) -> None:
+        key = name.lower()
+        if not replace and (key in self._views or key in self._tables):
+            raise CatalogError(f"table or view {name} already exists")
+        self._views[key] = select
+
+    def get_view(self, name: str) -> Optional[ast.Select]:
+        return self._views.get(name.lower())
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def drop_view(self, name: str) -> None:
+        if self._views.pop(name.lower(), None) is None:
+            raise CatalogError(f"no such view: {name}")
+
+    # -- routines -------------------------------------------------------
+
+    def add_routine(self, routine: Routine, replace: bool = False) -> None:
+        key = routine.name.lower()
+        if not replace and key in self._routines:
+            raise CatalogError(f"routine {routine.name} already exists")
+        self._routines[key] = routine
+
+    def get_routine(self, name: str) -> Routine:
+        try:
+            return self._routines[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such routine: {name}") from None
+
+    def has_routine(self, name: str) -> bool:
+        return name.lower() in self._routines
+
+    def drop_routine(self, name: str) -> None:
+        if self._routines.pop(name.lower(), None) is None:
+            raise CatalogError(f"no such routine: {name}")
+
+    def routines(self) -> list[Routine]:
+        return list(self._routines.values())

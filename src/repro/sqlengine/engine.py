@@ -1,0 +1,110 @@
+"""The `Database` facade: parse + execute conventional SQL/PSM.
+
+Also owns :class:`EngineStats`, the instrumentation the benchmark
+harness reports: per-routine invocation counts, statements executed and
+rows written are the machine-independent cost drivers behind the
+paper's MAX-vs-PERST comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import Executor, ResultSet
+from repro.sqlengine.parser import parse_script, parse_statement
+from repro.sqlengine.values import Date
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across statement executions."""
+
+    statements: int = 0
+    rows_written: int = 0
+    total_routine_calls: int = 0
+    routine_calls: dict[str, int] = field(default_factory=dict)
+    call_depth: int = 0  # transient: current execution nesting
+
+    def reset(self) -> None:
+        self.statements = 0
+        self.rows_written = 0
+        self.total_routine_calls = 0
+        self.routine_calls = {}
+        self.call_depth = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "statements": self.statements,
+            "rows_written": self.rows_written,
+            "total_routine_calls": self.total_routine_calls,
+            "routine_calls": dict(self.routine_calls),
+        }
+
+
+class Database:
+    """An in-memory SQL/PSM database.
+
+    ``now`` is the value of CURRENT_DATE, settable so current-semantics
+    queries are reproducible; it defaults to 2011-01-01 (inside the
+    benchmark datasets' two-year window).
+    """
+
+    def __init__(self, now: Optional[Date] = None) -> None:
+        self.catalog = Catalog()
+        self.stats = EngineStats()
+        self.now = now if now is not None else Date.from_ymd(2011, 1, 1)
+        self._executor = Executor(self)
+        # per-top-level-statement memo for TABLE(f(args)) invocations:
+        # routines are deterministic over data that does not change while
+        # one statement runs, so a lateral join may reuse results for
+        # repeated argument tuples (what a DBMS optimizer does).
+        # `memoize_table_functions` exists for the ablation benchmark.
+        self.table_function_cache: dict = {}
+        self.memoize_table_functions = True
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Parse and execute one statement.
+
+        Returns a :class:`ResultSet` for queries, a row count for DML,
+        a list of result sets for CALL, and None for DDL.
+        """
+        return self.execute_ast(parse_statement(sql))
+
+    def execute_ast(self, stmt: ast.Statement) -> Any:
+        self.table_function_cache.clear()
+        try:
+            return self._executor.execute(stmt)
+        finally:
+            self.table_function_cache.clear()
+
+    def execute_script(self, sql: str) -> list[Any]:
+        """Execute a semicolon-separated script; returns per-statement results."""
+        return [self._executor.execute(stmt) for stmt in parse_script(sql)]
+
+    def query(self, sql: str) -> ResultSet:
+        """Execute a statement that must produce a result set."""
+        result = self.execute(sql)
+        if not isinstance(result, ResultSet):
+            raise TypeError(f"statement did not produce a result set: {sql!r}")
+        return result
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    def table(self, name: str):
+        return self.catalog.get_table(name)
+
+    def insert_rows(self, table_name: str, rows: list[list[Any]]) -> None:
+        """Bulk-load rows (bypasses SQL parsing; used by data generators)."""
+        table = self.catalog.get_table(table_name)
+        for row in rows:
+            table.insert(row)
+        self.stats.rows_written += len(rows)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the SQL/PSM engine.
+
+Every error raised by the engine derives from :class:`SqlError`, so
+callers (including the temporal stratum) can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all engine errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters malformed input."""
+
+    def __init__(self, message: str, position: int, line: int) -> None:
+        super().__init__(f"{message} (line {line}, offset {position})")
+        self.position = position
+        self.line = line
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot make sense of a token stream."""
+
+
+class CatalogError(SqlError):
+    """Raised for unknown or duplicate tables, routines, views, columns."""
+
+
+class TypeError_(SqlError):
+    """Raised on type mismatches and impossible coercions.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ExecutionError(SqlError):
+    """Raised for runtime errors during statement execution."""
+
+
+class DivisionByZeroError(ExecutionError):
+    """Raised when SQL arithmetic divides by zero."""
+
+
+class CardinalityError(ExecutionError):
+    """Raised when a scalar subquery or row SELECT yields more than one row."""
+
+
+class RoutineError(ExecutionError):
+    """Raised for errors inside stored-routine execution."""
+
+
+class CursorError(RoutineError):
+    """Raised for cursor misuse (fetch before open, double open, ...)."""

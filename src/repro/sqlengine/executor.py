@@ -1,0 +1,1187 @@
+"""Statement execution: queries, DML, DDL, and expression evaluation.
+
+The executor is *conventional*: it refuses to run any statement carrying
+a temporal modifier (those belong to the stratum).  PSM control flow
+lives in :mod:`repro.sqlengine.routines`; this module provides the
+relational core they both call into.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine import functions as fn
+from repro.sqlengine.errors import (
+    CardinalityError,
+    CatalogError,
+    DivisionByZeroError,
+    ExecutionError,
+    SqlError,
+    TypeError_,
+)
+from repro.sqlengine.storage import Column, Table
+from repro.sqlengine.types import SqlType, coerce, infer_type
+from repro.sqlengine.values import (
+    Date,
+    Null,
+    Row,
+    Unknown,
+    compare,
+    logic_and,
+    logic_not,
+    logic_or,
+    sort_key,
+    truth,
+)
+
+
+class ResultSet:
+    """Columns plus a list of row value-lists."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: list[list[Any]]) -> None:
+        self.columns = list(columns)
+        self.rows = rows
+
+    def as_rows(self) -> list[Row]:
+        return [Row(self.columns, row) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (Null when empty)."""
+        if not self.rows:
+            return Null
+        if len(self.rows) > 1:
+            raise CardinalityError("query returned more than one row")
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+class Binding:
+    """One FROM-clause binding: a column→index map plus the current row."""
+
+    __slots__ = ("columns", "row")
+
+    def __init__(self, columns: dict[str, int], row: Sequence[Any]) -> None:
+        self.columns = columns
+        self.row = row
+
+
+class Env:
+    """Lexical environment for name resolution during evaluation.
+
+    Resolution order for an unqualified name: the bindings of this env,
+    then enclosing envs (correlated subqueries), then the routine frame's
+    variables.  Qualified names resolve against binding aliases first and
+    record variables (FOR-loop rows) second.
+    """
+
+    __slots__ = ("bindings", "parent", "frame")
+
+    def __init__(self, parent: Optional["Env"] = None, frame: Any = None) -> None:
+        self.bindings: dict[str, Binding] = {}
+        self.parent = parent
+        self.frame = frame if frame is not None else (parent.frame if parent else None)
+
+    def child(self) -> "Env":
+        return Env(parent=self)
+
+    def lookup(self, qualifier: Optional[str], name: str) -> Any:
+        key = name.lower()
+        if qualifier is not None:
+            qual = qualifier.lower()
+            env: Optional[Env] = self
+            while env is not None:
+                binding = env.bindings.get(qual)
+                if binding is not None:
+                    index = binding.columns.get(key)
+                    if index is None:
+                        raise CatalogError(
+                            f"no column {name!r} in {qualifier!r}"
+                        )
+                    return binding.row[index]
+                env = env.parent
+            if self.frame is not None:
+                found, value = self.frame.lookup_record_field(qual, key)
+                if found:
+                    return value
+            raise CatalogError(f"unknown table alias {qualifier!r}")
+        env = self
+        while env is not None:
+            hits = []
+            for binding in env.bindings.values():
+                index = binding.columns.get(key)
+                if index is not None:
+                    hits.append(binding.row[index])
+            if len(hits) == 1:
+                return hits[0]
+            if len(hits) > 1:
+                raise ExecutionError(f"ambiguous column name {name!r}")
+            env = env.parent
+        if self.frame is not None:
+            found, value = self.frame.lookup_variable(key)
+            if found:
+                return value
+        raise CatalogError(f"unknown column or variable {name!r}")
+
+
+class Executor:
+    """Executes conventional SQL statements against a Database."""
+
+    def __init__(self, database: "Database") -> None:  # noqa: F821
+        self.db = database
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, stmt: ast.Statement, env: Optional[Env] = None) -> Any:
+        if getattr(stmt, "modifier", None) is not None:
+            raise ExecutionError(
+                "temporal statement modifiers require the temporal stratum"
+            )
+        self.db.stats.statements += 1
+        if isinstance(stmt, ast.Select):
+            return self.execute_select(stmt, env)
+        if isinstance(stmt, ast.Insert):
+            return self.execute_insert(stmt, env)
+        if isinstance(stmt, ast.Update):
+            return self.execute_update(stmt, env)
+        if isinstance(stmt, ast.Delete):
+            return self.execute_delete(stmt, env)
+        if isinstance(stmt, ast.CreateTable):
+            return self.execute_create_table(stmt, env)
+        if isinstance(stmt, ast.DropTable):
+            self.db.catalog.drop_table(stmt.name)
+            return None
+        if isinstance(stmt, ast.CreateView):
+            self.db.catalog.add_view(stmt.name, stmt.select)
+            return None
+        if isinstance(stmt, ast.DropView):
+            self.db.catalog.drop_view(stmt.name)
+            return None
+        if isinstance(stmt, (ast.CreateFunction, ast.CreateProcedure)):
+            from repro.sqlengine.catalog import Routine
+
+            kind = "FUNCTION" if isinstance(stmt, ast.CreateFunction) else "PROCEDURE"
+            self.db.catalog.add_routine(Routine(kind=kind, definition=stmt))
+            return None
+        if isinstance(stmt, ast.DropRoutine):
+            self.db.catalog.drop_routine(stmt.name)
+            return None
+        if isinstance(stmt, ast.CallStatement):
+            from repro.sqlengine.routines import RoutineInterpreter
+
+            return RoutineInterpreter(self).call_procedure(stmt, env)
+        if isinstance(stmt, ast.AlterTable):
+            raise ExecutionError(
+                "ALTER TABLE ... ADD VALIDTIME requires the temporal stratum"
+            )
+        if isinstance(stmt, ast.PsmStatement):
+            raise ExecutionError(
+                f"{type(stmt).__name__} is only valid inside a routine body"
+            )
+        raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def execute_select(self, select: ast.Select, env: Optional[Env] = None) -> ResultSet:
+        if select.set_op:
+            result = self._select_no_order(select, env)
+            result = self._apply_set_ops(select, result, env)
+            if select.order_by:
+                result = self._apply_order_on_output(select, result, env)
+        else:
+            result = self._select_no_order(select, env, order_by=select.order_by)
+        if select.limit is not None:
+            result.rows = result.rows[: select.limit]
+        return result
+
+    def _apply_set_ops(
+        self, select: ast.Select, left: ResultSet, env: Optional[Env]
+    ) -> ResultSet:
+        node = select
+        result = left
+        while node.set_op:
+            rhs_node = node.set_rhs
+            right = self._select_no_order(rhs_node, env)
+            if len(right.columns) != len(result.columns):
+                raise ExecutionError("set operands differ in column count")
+            op = node.set_op
+            if op == "UNION ALL":
+                result = ResultSet(result.columns, result.rows + right.rows)
+            elif op == "UNION":
+                result = ResultSet(
+                    result.columns, _distinct_rows(result.rows + right.rows)
+                )
+            elif op in ("EXCEPT", "EXCEPT ALL"):
+                right_keys = {tuple(sort_key(v) for v in row) for row in right.rows}
+                kept = [
+                    row
+                    for row in result.rows
+                    if tuple(sort_key(v) for v in row) not in right_keys
+                ]
+                result = ResultSet(result.columns, _distinct_rows(kept))
+            elif op in ("INTERSECT", "INTERSECT ALL"):
+                right_keys = {tuple(sort_key(v) for v in row) for row in right.rows}
+                kept = [
+                    row
+                    for row in result.rows
+                    if tuple(sort_key(v) for v in row) in right_keys
+                ]
+                result = ResultSet(result.columns, _distinct_rows(kept))
+            else:  # pragma: no cover - parser restricts ops
+                raise ExecutionError(f"unknown set operation {op}")
+            node = rhs_node
+        return result
+
+    def _select_no_order(
+        self,
+        select: ast.Select,
+        env: Optional[Env],
+        order_by: Optional[list[ast.OrderItem]] = None,
+    ) -> ResultSet:
+        base_env = env if env is not None else Env()
+        grouped = bool(select.group_by) or any(
+            item.expr is not None and _contains_aggregate(item.expr)
+            for item in select.items
+        ) or (select.having is not None)
+        if grouped:
+            return self._grouped_select(select, base_env, order_by)
+        columns = self._output_columns(select, base_env)
+        colmap = {name.lower(): i for i, name in enumerate(columns)}
+        rows: list[list[Any]] = []
+        keys: list[tuple] = []
+        for row_env in self._from_rows(select.from_items, base_env, select.where):
+            if select.where is not None and not truth(
+                self.evaluate(select.where, row_env)
+            ):
+                continue
+            row = self._project(select.items, row_env)
+            rows.append(row)
+            if order_by:
+                keys.append(self._order_key(order_by, row, colmap, row_env))
+        if order_by:
+            paired = sorted(zip(keys, range(len(rows)), rows), key=lambda p: p[:2])
+            rows = [row for _, _, row in paired]
+        if select.distinct:
+            rows = _distinct_rows(rows)
+        return ResultSet(columns, rows)
+
+    def _order_key(
+        self,
+        order_by: list[ast.OrderItem],
+        row: list[Any],
+        colmap: dict[str, int],
+        row_env: Env,
+    ) -> tuple:
+        parts = []
+        for item in order_by:
+            value = None
+            resolved = False
+            expr = item.expr
+            if isinstance(expr, ast.Name) and expr.qualifier is None:
+                index = colmap.get(expr.name.lower())
+                if index is not None:
+                    value = row[index]
+                    resolved = True
+            if not resolved and isinstance(expr, ast.Literal) and isinstance(
+                expr.value, int
+            ):
+                position = expr.value - 1
+                if 0 <= position < len(row):
+                    value = row[position]
+                    resolved = True
+            if not resolved:
+                value = self.evaluate(expr, row_env)
+            key = sort_key(value)
+            parts.append(_Reversed(key) if item.descending else key)
+        return tuple(parts)
+
+    def _grouped_select(
+        self,
+        select: ast.Select,
+        base_env: Env,
+        order_by: Optional[list[ast.OrderItem]] = None,
+    ) -> ResultSet:
+        source_envs: list[Env] = []
+        for row_env in self._from_rows(select.from_items, base_env, select.where):
+            if select.where is not None and not truth(
+                self.evaluate(select.where, row_env)
+            ):
+                continue
+            source_envs.append(_freeze_env(row_env))
+        groups: dict[tuple, list[Env]] = {}
+        if select.group_by:
+            for row_env in source_envs:
+                key = tuple(
+                    sort_key(self.evaluate(g, row_env)) for g in select.group_by
+                )
+                groups.setdefault(key, []).append(row_env)
+        else:
+            groups[()] = source_envs
+        columns = self._output_columns(select, base_env)
+        colmap = {name.lower(): i for i, name in enumerate(columns)}
+        rows: list[list[Any]] = []
+        keys: list[tuple] = []
+        for group in groups.values():
+            if select.having is not None and not truth(
+                self._evaluate_grouped(select.having, group, base_env)
+            ):
+                continue
+            row = [
+                self._evaluate_grouped(item.expr, group, base_env)
+                for item in select.items
+            ]
+            rows.append(row)
+            if order_by:
+                keys.append(
+                    self._grouped_order_key(order_by, row, colmap, group, base_env)
+                )
+        if order_by:
+            paired = sorted(zip(keys, range(len(rows)), rows), key=lambda p: p[:2])
+            rows = [row for _, _, row in paired]
+        if select.distinct:
+            rows = _distinct_rows(rows)
+        return ResultSet(columns, rows)
+
+    def _grouped_order_key(
+        self,
+        order_by: list[ast.OrderItem],
+        row: list[Any],
+        colmap: dict[str, int],
+        group: list[Env],
+        base_env: Env,
+    ) -> tuple:
+        parts = []
+        for item in order_by:
+            expr = item.expr
+            value = None
+            resolved = False
+            if isinstance(expr, ast.Name) and expr.qualifier is None:
+                index = colmap.get(expr.name.lower())
+                if index is not None:
+                    value = row[index]
+                    resolved = True
+            if not resolved and isinstance(expr, ast.Literal) and isinstance(
+                expr.value, int
+            ):
+                position = expr.value - 1
+                if 0 <= position < len(row):
+                    value = row[position]
+                    resolved = True
+            if not resolved:
+                value = self._evaluate_grouped(expr, group, base_env)
+            key = sort_key(value)
+            parts.append(_Reversed(key) if item.descending else key)
+        return tuple(parts)
+
+    def _evaluate_grouped(
+        self, expr: ast.Expression, group: list[Env], base_env: Env
+    ) -> Any:
+        """Evaluate an expression that may contain aggregate calls."""
+        if isinstance(expr, ast.FunctionCall) and fn.is_aggregate(expr.name) and not self.db.catalog.has_routine(expr.name):
+            if expr.star:
+                return fn.evaluate_aggregate(expr.name, [None] * len(group), star=True)
+            values = [self.evaluate(expr.args[0], row_env) for row_env in group]
+            return fn.evaluate_aggregate(expr.name, values, distinct=expr.distinct)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("AND", "OR"):
+                left = self._evaluate_grouped(expr.left, group, base_env)
+                right = self._evaluate_grouped(expr.right, group, base_env)
+                return logic_and(left, right) if expr.op == "AND" else logic_or(left, right)
+            left = self._evaluate_grouped(expr.left, group, base_env)
+            right = self._evaluate_grouped(expr.right, group, base_env)
+            return _apply_binary(expr.op, left, right)
+        if isinstance(expr, ast.Parenthesized):
+            return self._evaluate_grouped(expr.expr, group, base_env)
+        if isinstance(expr, ast.UnaryOp):
+            value = self._evaluate_grouped(expr.operand, group, base_env)
+            return logic_not(value) if expr.op == "NOT" else _negate(value)
+        if isinstance(expr, ast.Cast):
+            return coerce(self._evaluate_grouped(expr.expr, group, base_env), expr.target)
+        # non-aggregate parts evaluate on a representative group row
+        representative = group[0] if group else base_env
+        return self.evaluate(expr, representative)
+
+    def _output_columns(self, select: ast.Select, env: Env) -> list[str]:
+        columns: list[str] = []
+        for item in select.items:
+            if item.is_star:
+                columns.extend(self._star_columns(select.from_items, item, env))
+            elif item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ast.Name):
+                columns.append(item.expr.name)
+            else:
+                columns.append(f"c{len(columns) + 1}")
+        return columns
+
+    def _star_columns(
+        self, from_items: list[ast.FromItem], item: ast.SelectItem, env: Env
+    ) -> list[str]:
+        names: list[str] = []
+        for source in _flatten_from(from_items):
+            alias, columns = self._source_shape(source, env)
+            if item.star_qualifier and alias.lower() != item.star_qualifier.lower():
+                continue
+            names.extend(columns)
+        if not names:
+            raise CatalogError("SELECT * with no resolvable source")
+        return names
+
+    def _source_shape(self, source: ast.FromItem, env: Env) -> tuple[str, list[str]]:
+        """(alias, column names) for a FROM source, without scanning rows."""
+        if isinstance(source, ast.TableRef):
+            view = self.db.catalog.get_view(source.name)
+            if view is not None:
+                return source.binding, self._output_columns(view, env)
+            table = self._resolve_table(source.name, env)
+            return source.binding, table.column_names
+        if isinstance(source, ast.SubqueryRef):
+            return source.alias, self._output_columns(source.select, env)
+        if isinstance(source, ast.TableFunctionRef):
+            routine = self.db.catalog.get_routine(source.call.name)
+            returns = routine.returns
+            if not isinstance(returns, ast.RowArrayType):
+                raise ExecutionError(
+                    f"{source.call.name} is not a table function"
+                )
+            return source.alias, list(returns.column_names)
+        raise ExecutionError(f"unsupported FROM source {type(source).__name__}")
+
+    def _resolve_table(self, name: str, env: Optional[Env]) -> Table:
+        """Resolve a table name: routine-frame table variables shadow catalog."""
+        frame = env.frame if env is not None else None
+        while frame is not None:
+            table = frame.lookup_table_var(name)
+            if table is not None:
+                return table
+            frame = getattr(frame, "parent", None)
+        return self.db.catalog.get_table(name)
+
+    # -- FROM evaluation ----------------------------------------------------
+
+    def _from_rows(
+        self,
+        from_items: list[ast.FromItem],
+        base_env: Env,
+        where: Optional[ast.Expression] = None,
+    ) -> Iterator[Env]:
+        if not from_items:
+            yield base_env.child()
+            return
+        env = base_env.child()
+        conjuncts = _split_conjuncts(where)
+        yield from self._expand_from(from_items, 0, env, conjuncts)
+
+    def _expand_from(
+        self,
+        from_items: list[ast.FromItem],
+        index: int,
+        env: Env,
+        conjuncts: list[ast.Expression],
+    ) -> Iterator[Env]:
+        if index >= len(from_items):
+            yield env
+            return
+        for env2 in self._bind_source(from_items[index], env, conjuncts, from_items):
+            yield from self._expand_from(from_items, index + 1, env2, conjuncts)
+
+    def _bind_source(
+        self,
+        source: ast.FromItem,
+        env: Env,
+        conjuncts: list[ast.Expression] = (),
+        from_items: Optional[list[ast.FromItem]] = None,
+    ) -> Iterator[Env]:
+        if isinstance(source, ast.Join):
+            yield from self._bind_join(source, env)
+            return
+        if (
+            isinstance(source, ast.TableRef)
+            and conjuncts
+            and not self.db.catalog.has_view(source.name)
+        ):
+            yield from self._bind_table_indexed(source, env, conjuncts, from_items)
+            return
+        alias, columns, rows = self._materialize_source(source, env)
+        colmap = {name.lower(): i for i, name in enumerate(columns)}
+        key = alias.lower()
+        for row in rows:
+            env.bindings[key] = Binding(colmap, row)
+            yield env
+        env.bindings.pop(key, None)
+
+    def _bind_table_indexed(
+        self,
+        source: ast.TableRef,
+        env: Env,
+        conjuncts: list[ast.Expression],
+        from_items: Optional[list[ast.FromItem]],
+    ) -> Iterator[Env]:
+        """Bind a base table, narrowing the scan with an equality conjunct.
+
+        A conjunct ``alias.col = rhs`` (or reversed) where ``rhs`` is a
+        literal or an expression over *already-bound* sources lets us use
+        the table's hash index instead of a full scan.  This only prunes
+        candidates — the full WHERE clause is still evaluated later — so
+        it can never change results, only skip rows that cannot match.
+        """
+        table = self._resolve_table(source.name, env)
+        alias = source.binding
+        colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
+        rows = table.rows
+        probe = self._find_index_probe(table, alias, conjuncts, env, from_items)
+        if probe is not None:
+            column_index, value = probe
+            if value is Null:
+                rows = []
+            else:
+                rows = table.hash_index(column_index).get(sort_key(value), [])
+        key = alias.lower()
+        for row in rows:
+            env.bindings[key] = Binding(colmap, row)
+            yield env
+        env.bindings.pop(key, None)
+
+    def _find_index_probe(
+        self,
+        table: Table,
+        alias: str,
+        conjuncts: list[ast.Expression],
+        env: Env,
+        from_items: Optional[list[ast.FromItem]],
+    ) -> Optional[tuple[int, Any]]:
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            for lhs, rhs in ((conjunct.left, conjunct.right),
+                             (conjunct.right, conjunct.left)):
+                column = self._column_of(lhs, table, alias, from_items)
+                if column is None:
+                    continue
+                if not self._rhs_is_bindable(rhs, env, from_items):
+                    continue
+                try:
+                    value = self.evaluate(rhs, env)
+                except SqlError:
+                    continue
+                return column, value
+        return None
+
+    def _column_of(
+        self,
+        expr: ast.Expression,
+        table: Table,
+        alias: str,
+        from_items: Optional[list[ast.FromItem]],
+    ) -> Optional[int]:
+        """The column index if ``expr`` names a column of this binding."""
+        if not isinstance(expr, ast.Name) or not table.has_column(expr.name):
+            return None
+        if expr.qualifier is not None:
+            if expr.qualifier.lower() != alias.lower():
+                return None
+            return table.column_index(expr.name)
+        # bare name: only safe if no *other* source could supply it
+        if from_items is None:
+            return None
+        for item in _flatten_from(from_items):
+            if isinstance(item, ast.TableRef) and item.binding.lower() != alias.lower():
+                if self.db.catalog.has_view(item.name):
+                    return None
+                try:
+                    other = self._resolve_table(item.name, None)
+                except SqlError:
+                    return None
+                if other.has_column(expr.name):
+                    return None
+            elif not isinstance(item, ast.TableRef):
+                return None
+        return table.column_index(expr.name)
+
+    def _rhs_is_bindable(
+        self,
+        expr: ast.Expression,
+        env: Env,
+        from_items: Optional[list[ast.FromItem]],
+    ) -> bool:
+        """Can ``expr`` be evaluated now without touching unbound sources?
+
+        Literals always; qualified names only if the qualifier is bound;
+        bare names only if no source of this FROM could supply them (so
+        they must be routine variables / parameters).
+        """
+        if isinstance(expr, ast.Literal):
+            return True
+        if not isinstance(expr, ast.Name):
+            return False
+        if expr.qualifier is not None:
+            qualifier = expr.qualifier.lower()
+            probe: Optional[Env] = env
+            while probe is not None:
+                if qualifier in probe.bindings:
+                    return True
+                probe = probe.parent
+            return False
+        if from_items is None:
+            return False
+        for item in _flatten_from(from_items):
+            if not isinstance(item, ast.TableRef):
+                return False
+            if self.db.catalog.has_view(item.name):
+                return False
+            try:
+                candidate = self._resolve_table(item.name, None)
+            except SqlError:
+                return False
+            if candidate.has_column(expr.name):
+                return False
+        return True
+
+    def _bind_join(self, join: ast.Join, env: Env) -> Iterator[Env]:
+        if join.kind in ("INNER", "CROSS"):
+            for env2 in self._bind_source(join.left, env):
+                for env3 in self._bind_source(join.right, env2):
+                    if join.condition is None or truth(
+                        self.evaluate(join.condition, env3)
+                    ):
+                        yield env3
+            return
+        if join.kind == "RIGHT":
+            # a RIGHT join is a LEFT join with the operands swapped
+            swapped = ast.Join(
+                left=join.right, right=join.left, kind="LEFT",
+                condition=join.condition,
+            )
+            yield from self._bind_join(swapped, env)
+            return
+        if join.kind == "LEFT":
+            alias, columns, rows = self._materialize_source_static(join.right, env)
+            colmap = {name.lower(): i for i, name in enumerate(columns)}
+            key = alias.lower()
+            null_row = [Null] * len(columns)
+            for env2 in self._bind_source(join.left, env):
+                matched = False
+                for row in rows:
+                    env2.bindings[key] = Binding(colmap, row)
+                    if join.condition is None or truth(
+                        self.evaluate(join.condition, env2)
+                    ):
+                        matched = True
+                        yield env2
+                if not matched:
+                    env2.bindings[key] = Binding(colmap, null_row)
+                    yield env2
+                env2.bindings.pop(key, None)
+            return
+        raise ExecutionError(f"unsupported join kind {join.kind}")
+
+    def _materialize_source(
+        self, source: ast.FromItem, env: Env
+    ) -> tuple[str, list[str], list[list[Any]]]:
+        """Alias, columns and rows for a FROM source (lateral-aware)."""
+        if isinstance(source, ast.TableRef):
+            view = self.db.catalog.get_view(source.name)
+            if view is not None:
+                result = self.execute_select(view, Env(frame=env.frame))
+                return source.binding, result.columns, result.rows
+            table = self._resolve_table(source.name, env)
+            return source.binding, table.column_names, table.rows
+        if isinstance(source, ast.SubqueryRef):
+            result = self.execute_select(source.select, env)
+            return source.alias, result.columns, result.rows
+        if isinstance(source, ast.TableFunctionRef):
+            from repro.sqlengine.routines import RoutineInterpreter
+
+            args = [self.evaluate(a, env) for a in source.call.args]
+            if not self.db.memoize_table_functions:
+                return (source.alias,) + RoutineInterpreter(self).invoke_table_function(
+                    source.call.name, args
+                )
+            cache_key = (source.call.name.lower(), tuple(sort_key(a) for a in args))
+            cached = self.db.table_function_cache.get(cache_key)
+            if cached is not None:
+                return source.alias, cached[0], cached[1]
+            columns, rows = RoutineInterpreter(self).invoke_table_function(
+                source.call.name, args
+            )
+            self.db.table_function_cache[cache_key] = (columns, rows)
+            return source.alias, columns, rows
+        raise ExecutionError(f"unsupported FROM source {type(source).__name__}")
+
+    def _materialize_source_static(
+        self, source: ast.FromItem, env: Env
+    ) -> tuple[str, list[str], list[list[Any]]]:
+        """Like _materialize_source but copies rows (safe to re-iterate)."""
+        alias, columns, rows = self._materialize_source(source, env)
+        return alias, columns, list(rows)
+
+    def _project(self, items: list[ast.SelectItem], env: Env) -> list[Any]:
+        values: list[Any] = []
+        for item in items:
+            if item.is_star:
+                for binding_alias, binding in env.bindings.items():
+                    if (
+                        item.star_qualifier
+                        and binding_alias != item.star_qualifier.lower()
+                    ):
+                        continue
+                    values.extend(binding.row)
+            else:
+                values.append(self.evaluate(item.expr, env))
+        return values
+
+    def _apply_order_on_output(
+        self, select: ast.Select, result: ResultSet, env: Optional[Env]
+    ) -> ResultSet:
+        """ORDER BY over a set-operation result: output columns only."""
+        colmap = {name.lower(): i for i, name in enumerate(result.columns)}
+
+        def order_key(row: list[Any]) -> tuple:
+            parts = []
+            for item in select.order_by:
+                expr = item.expr
+                if isinstance(expr, ast.Name) and expr.qualifier is None:
+                    index = colmap.get(expr.name.lower())
+                    if index is None:
+                        raise ExecutionError(
+                            f"ORDER BY column {expr.name!r} not in output"
+                        )
+                    value = row[index]
+                elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    value = row[expr.value - 1]
+                else:
+                    bound = Env(parent=env)
+                    bound.bindings["__row__"] = Binding(colmap, row)
+                    value = self.evaluate(expr, bound)
+                key = sort_key(value)
+                parts.append(_Reversed(key) if item.descending else key)
+            return tuple(parts)
+
+        result.rows.sort(key=order_key)
+        return result
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def execute_insert(self, stmt: ast.Insert, env: Optional[Env]) -> int:
+        table = self._resolve_table(stmt.table, env)
+        count = 0
+        if stmt.select is not None:
+            result = self.execute_select(stmt.select, env)
+            for row in result.rows:
+                table.insert(row, stmt.columns)
+                count += 1
+        else:
+            eval_env = env if env is not None else Env()
+            for value_row in stmt.values or []:
+                values = [self.evaluate(e, eval_env) for e in value_row]
+                table.insert(values, stmt.columns)
+                count += 1
+        self.db.stats.rows_written += count
+        return count
+
+    def execute_update(self, stmt: ast.Update, env: Optional[Env]) -> int:
+        table = self._resolve_table(stmt.table, env)
+        alias = stmt.alias or stmt.table
+        colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
+        eval_env = Env(parent=env)
+        key = alias.lower()
+        assign_indexes = [table.column_index(c) for c, _ in stmt.assignments]
+
+        def predicate(row: list[Any]) -> bool:
+            eval_env.bindings[key] = Binding(colmap, row)
+            return stmt.where is None or truth(self.evaluate(stmt.where, eval_env))
+
+        def updater(row: list[Any]) -> dict[int, Any]:
+            eval_env.bindings[key] = Binding(colmap, row)
+            return {
+                index: self.evaluate(expr, eval_env)
+                for index, (_, expr) in zip(assign_indexes, stmt.assignments)
+            }
+
+        count = table.update_where(predicate, updater)
+        self.db.stats.rows_written += count
+        return count
+
+    def execute_delete(self, stmt: ast.Delete, env: Optional[Env]) -> int:
+        table = self._resolve_table(stmt.table, env)
+        alias = stmt.alias or stmt.table
+        colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
+        eval_env = Env(parent=env)
+        key = alias.lower()
+
+        def predicate(row: list[Any]) -> bool:
+            eval_env.bindings[key] = Binding(colmap, row)
+            return stmt.where is None or truth(self.evaluate(stmt.where, eval_env))
+
+        count = table.delete_where(predicate)
+        self.db.stats.rows_written += count
+        return count
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def execute_create_table(self, stmt: ast.CreateTable, env: Optional[Env]) -> None:
+        if stmt.as_select is not None:
+            result = self.execute_select(stmt.as_select, env)
+            columns = [
+                Column(name, _infer_column_type(result.rows, i))
+                for i, name in enumerate(result.columns)
+            ]
+            table = Table(stmt.name, columns, temporary=stmt.temporary)
+            for row in result.rows:
+                table.rows.append(list(row))
+            table.version += 1
+            self.db.stats.rows_written += len(result.rows)
+            self.db.catalog.add_table(table, replace=stmt.temporary)
+            return
+        pk_columns = set(stmt.primary_key or [])
+        columns = [
+            Column(
+                c.name,
+                c.type,
+                not_null=c.not_null,
+                primary_key=c.primary_key or c.name in pk_columns,
+            )
+            for c in stmt.columns
+        ]
+        self.db.catalog.add_table(
+            Table(stmt.name, columns, temporary=stmt.temporary),
+            replace=stmt.temporary,
+        )
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression, env: Env) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return env.lookup(expr.qualifier, expr.name)
+        if isinstance(expr, ast.Parenthesized):
+            return self.evaluate(expr.expr, env)
+        if isinstance(expr, ast.BinaryOp):
+            return self._evaluate_binary(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.evaluate(expr.operand, env)
+            if expr.op == "NOT":
+                return logic_not(value)
+            return _negate(value)
+        if isinstance(expr, ast.FunctionCall):
+            return self._evaluate_call(expr, env)
+        if isinstance(expr, ast.Cast):
+            return coerce(self.evaluate(expr.expr, env), expr.target)
+        if isinstance(expr, ast.CaseExpr):
+            return self._evaluate_case(expr, env)
+        if isinstance(expr, ast.IsNullPredicate):
+            value = self.evaluate(expr.expr, env)
+            answer = value is Null
+            return not answer if expr.negated else answer
+        if isinstance(expr, ast.BetweenPredicate):
+            return self._evaluate_between(expr, env)
+        if isinstance(expr, ast.InPredicate):
+            return self._evaluate_in(expr, env)
+        if isinstance(expr, ast.ExistsPredicate):
+            result = self.execute_select(expr.subquery, env)
+            answer = len(result.rows) > 0
+            return not answer if expr.negated else answer
+        if isinstance(expr, ast.LikePredicate):
+            return self._evaluate_like(expr, env)
+        if isinstance(expr, ast.ScalarSubquery):
+            result = self.execute_select(expr.select, env)
+            if not result.rows:
+                return Null
+            if len(result.rows) > 1:
+                raise CardinalityError("scalar subquery returned more than one row")
+            return result.rows[0][0]
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _evaluate_binary(self, expr: ast.BinaryOp, env: Env) -> Any:
+        if expr.op == "AND":
+            left = self.evaluate(expr.left, env)
+            if left is False:
+                return False
+            right = self.evaluate(expr.right, env)
+            return logic_and(left, right)
+        if expr.op == "OR":
+            left = self.evaluate(expr.left, env)
+            if left is True:
+                return True
+            right = self.evaluate(expr.right, env)
+            return logic_or(left, right)
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        return _apply_binary(expr.op, left, right)
+
+    def _evaluate_call(self, expr: ast.FunctionCall, env: Env) -> Any:
+        name = expr.name
+        if self.db.catalog.has_routine(name):
+            from repro.sqlengine.routines import RoutineInterpreter
+
+            args = [self.evaluate(a, env) for a in expr.args]
+            return RoutineInterpreter(self).invoke_function(name, args)
+        upper = name.upper()
+        if upper == "CURRENT_DATE":
+            return self.db.now
+        if fn.is_aggregate(upper):
+            raise ExecutionError(
+                f"aggregate {name} used outside of a grouped query"
+            )
+        if fn.is_scalar_builtin(upper):
+            args = [self.evaluate(a, env) for a in expr.args]
+            return fn.call_scalar_builtin(upper, args)
+        raise CatalogError(f"no such function: {name}")
+
+    def _evaluate_case(self, expr: ast.CaseExpr, env: Env) -> Any:
+        if expr.operand is not None:
+            operand = self.evaluate(expr.operand, env)
+            for when, then in expr.whens:
+                candidate = self.evaluate(when, env)
+                if compare(operand, candidate) == 0:
+                    return self.evaluate(then, env)
+        else:
+            for when, then in expr.whens:
+                if truth(self.evaluate(when, env)):
+                    return self.evaluate(then, env)
+        if expr.else_expr is not None:
+            return self.evaluate(expr.else_expr, env)
+        return Null
+
+    def _evaluate_between(self, expr: ast.BetweenPredicate, env: Env) -> Any:
+        value = self.evaluate(expr.expr, env)
+        low = self.evaluate(expr.low, env)
+        high = self.evaluate(expr.high, env)
+        lower = compare(value, low)
+        upper = compare(value, high)
+        if lower is Unknown or upper is Unknown:
+            return Unknown
+        answer = lower >= 0 and upper <= 0
+        return (not answer) if expr.negated else answer
+
+    def _evaluate_in(self, expr: ast.InPredicate, env: Env) -> Any:
+        value = self.evaluate(expr.expr, env)
+        if expr.subquery is not None:
+            result = self.execute_select(expr.subquery, env)
+            candidates = [row[0] for row in result.rows]
+        else:
+            candidates = [self.evaluate(e, env) for e in expr.items or []]
+        saw_unknown = False
+        for candidate in candidates:
+            verdict = compare(value, candidate)
+            if verdict is Unknown:
+                saw_unknown = True
+            elif verdict == 0:
+                return False if expr.negated else True
+        if saw_unknown:
+            return Unknown
+        return True if expr.negated else False
+
+    def _evaluate_like(self, expr: ast.LikePredicate, env: Env) -> Any:
+        value = self.evaluate(expr.expr, env)
+        pattern = self.evaluate(expr.pattern, env)
+        if value is Null or pattern is Null:
+            return Unknown
+        regex = _like_regex(str(pattern))
+        answer = regex.fullmatch(str(value)) is not None
+        return (not answer) if expr.negated else answer
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class _Reversed:
+    """Inverts comparison for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.key == other.key
+
+
+def _negate(value: Any) -> Any:
+    if value is Null:
+        return Null
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return -value
+    raise TypeError_(f"cannot negate {value!r}")
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        verdict = compare(left, right)
+        if verdict is Unknown:
+            return Unknown
+        if op == "=":
+            return verdict == 0
+        if op == "<>":
+            return verdict != 0
+        if op == "<":
+            return verdict < 0
+        if op == "<=":
+            return verdict <= 0
+        if op == ">":
+            return verdict > 0
+        return verdict >= 0
+    if op == "AND":
+        return logic_and(left, right)
+    if op == "OR":
+        return logic_or(left, right)
+    if left is Null or right is Null:
+        return Null
+    if op == "||":
+        return _to_text(left) + _to_text(right)
+    if op == "+":
+        if isinstance(left, Date) and isinstance(right, int):
+            return left.plus_days(right)
+        if isinstance(right, Date) and isinstance(left, int):
+            return right.plus_days(left)
+        _require_numeric(op, left, right)
+        return left + right
+    if op == "-":
+        if isinstance(left, Date) and isinstance(right, Date):
+            return left.ordinal - right.ordinal
+        if isinstance(left, Date) and isinstance(right, int):
+            return left.plus_days(-right)
+        _require_numeric(op, left, right)
+        return left - right
+    if op == "*":
+        _require_numeric(op, left, right)
+        return left * right
+    if op == "/":
+        _require_numeric(op, left, right)
+        if right == 0:
+            raise DivisionByZeroError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            quotient = left // right
+            if quotient < 0 and left % right != 0:
+                quotient += 1  # SQL integer division truncates toward zero
+            return quotient
+        return left / right
+    raise ExecutionError(f"unknown operator {op}")
+
+
+def _require_numeric(op: str, left: Any, right: Any) -> None:
+    """Arithmetic needs numbers (bool counts, as elsewhere in SQL)."""
+    for value in (left, right):
+        if not isinstance(value, (int, float)):
+            raise TypeError_(
+                f"operator {op} requires numeric operands,"
+                f" got {type(value).__name__}"
+            )
+
+
+def _to_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, Date):
+        return value.to_iso()
+    return str(value)
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+def _split_conjuncts(where: Optional[ast.Expression]) -> list[ast.Expression]:
+    """Flatten the top-level AND tree of a predicate."""
+    if where is None:
+        return []
+    if isinstance(where, ast.Parenthesized):
+        return _split_conjuncts(where.expr)
+    if isinstance(where, ast.BinaryOp) and where.op == "AND":
+        return _split_conjuncts(where.left) + _split_conjuncts(where.right)
+    return [where]
+
+
+def _distinct_rows(rows: list[list[Any]]) -> list[list[Any]]:
+    seen: set = set()
+    unique: list[list[Any]] = []
+    for row in rows:
+        key = tuple(sort_key(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def _contains_aggregate(expr: ast.Expression) -> bool:
+    """True if the expression has an aggregate call not inside a subquery."""
+    if isinstance(expr, ast.FunctionCall):
+        if fn.is_aggregate(expr.name):
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, (ast.ScalarSubquery, ast.ExistsPredicate)):
+        return False
+    if isinstance(expr, ast.InPredicate):
+        return _contains_aggregate(expr.expr) or any(
+            _contains_aggregate(i) for i in expr.items or []
+        )
+    for child in ast.iter_children(expr):
+        if isinstance(child, ast.Expression) and _contains_aggregate(child):
+            return True
+    return False
+
+
+def _flatten_from(from_items: list[ast.FromItem]) -> list[ast.FromItem]:
+    """Sources in *binding* order (a RIGHT join binds its right side first)."""
+    flat: list[ast.FromItem] = []
+    for item in from_items:
+        if isinstance(item, ast.Join):
+            if item.kind == "RIGHT":
+                flat.extend(_flatten_from([item.right, item.left]))
+            else:
+                flat.extend(_flatten_from([item.left, item.right]))
+        else:
+            flat.append(item)
+    return flat
+
+
+def _freeze_env(env: Env) -> Env:
+    """Snapshot the current bindings of ``env`` into a standalone Env.
+
+    The FROM iterator mutates bindings in place, so grouping must copy.
+    """
+    frozen = Env(parent=env.parent, frame=env.frame)
+    for alias, binding in env.bindings.items():
+        frozen.bindings[alias] = Binding(binding.columns, list(binding.row))
+    return frozen
+
+
+def _infer_column_type(rows: list[list[Any]], index: int) -> SqlType:
+    for row in rows:
+        if row[index] is not Null:
+            return infer_type(row[index])
+    return SqlType("VARCHAR", length=255)

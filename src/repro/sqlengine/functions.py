@@ -1,0 +1,317 @@
+"""Built-in scalar and aggregate functions.
+
+Includes ``FIRST_INSTANCE`` / ``LAST_INSTANCE`` — the earlier/later of two
+time arguments — which the paper's Figure 4 uses to intersect validity
+periods in transformed sequenced joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.sqlengine.errors import DivisionByZeroError, ExecutionError, TypeError_
+from repro.sqlengine.values import Date, Null, compare, is_null, sort_key
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate(name: str) -> bool:
+    return name.upper() in AGGREGATE_NAMES
+
+
+# ---------------------------------------------------------------------------
+# scalar builtins
+# ---------------------------------------------------------------------------
+
+
+def _null_in(args: Sequence[Any]) -> bool:
+    return any(a is Null for a in args)
+
+
+def _upper(args: Sequence[Any]) -> Any:
+    return Null if _null_in(args) else str(args[0]).upper()
+
+
+def _lower(args: Sequence[Any]) -> Any:
+    return Null if _null_in(args) else str(args[0]).lower()
+
+
+def _length(args: Sequence[Any]) -> Any:
+    return Null if _null_in(args) else len(str(args[0]).rstrip())
+
+
+def _trim(args: Sequence[Any]) -> Any:
+    return Null if _null_in(args) else str(args[0]).strip()
+
+
+def _substring(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    text = str(args[0])
+    start = int(args[1]) - 1
+    if start < 0:
+        start = 0
+    if len(args) >= 3:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+def _abs(args: Sequence[Any]) -> Any:
+    return Null if _null_in(args) else abs(args[0])
+
+
+def _mod(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    if args[1] == 0:
+        raise DivisionByZeroError("MOD by zero")
+    return args[0] % args[1]
+
+
+def _coalesce(args: Sequence[Any]) -> Any:
+    for arg in args:
+        if arg is not Null:
+            return arg
+    return Null
+
+
+def _nullif(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return args[0]
+    return Null if compare(args[0], args[1]) == 0 else args[0]
+
+
+def _first_instance(args: Sequence[Any]) -> Any:
+    """The *earlier* of two time arguments (paper, Fig. 4)."""
+    if _null_in(args):
+        return Null
+    return args[0] if compare(args[0], args[1]) <= 0 else args[1]
+
+
+def _last_instance(args: Sequence[Any]) -> Any:
+    """The *later* of two time arguments (paper, Fig. 4)."""
+    if _null_in(args):
+        return Null
+    return args[0] if compare(args[0], args[1]) >= 0 else args[1]
+
+
+def _year(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    date = args[0]
+    if not isinstance(date, Date):
+        raise TypeError_("YEAR expects a DATE")
+    import datetime
+
+    return datetime.date.fromordinal(date.ordinal).year
+
+
+def _days(args: Sequence[Any]) -> Any:
+    """DAYS(date) — the day ordinal (DB2-style)."""
+    if _null_in(args):
+        return Null
+    date = args[0]
+    if not isinstance(date, Date):
+        raise TypeError_("DAYS expects a DATE")
+    return date.ordinal
+
+
+def _date_fn(args: Sequence[Any]) -> Any:
+    """DATE(n) / DATE('iso') — construct a date from an ordinal or text."""
+    if _null_in(args):
+        return Null
+    value = args[0]
+    if isinstance(value, Date):
+        return value
+    if isinstance(value, int):
+        return Date(value)
+    if isinstance(value, str):
+        return Date.from_iso(value)
+    raise TypeError_(f"cannot convert {value!r} to DATE")
+
+
+def _month(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    import datetime
+
+    if not isinstance(args[0], Date):
+        raise TypeError_("MONTH expects a DATE")
+    return datetime.date.fromordinal(args[0].ordinal).month
+
+
+def _day(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    import datetime
+
+    if not isinstance(args[0], Date):
+        raise TypeError_("DAY expects a DATE")
+    return datetime.date.fromordinal(args[0].ordinal).day
+
+
+def _round(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    digits = int(args[1]) if len(args) > 1 else 0
+    value = round(float(args[0]) + 0.0, digits)
+    return int(value) if digits <= 0 else value
+
+
+def _floor(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    import math
+
+    return math.floor(args[0])
+
+
+def _ceiling(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    import math
+
+    return math.ceil(args[0])
+
+
+def _sign(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    value = args[0]
+    return (value > 0) - (value < 0)
+
+
+def _power(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    return args[0] ** args[1]
+
+
+def _sqrt(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    import math
+
+    if args[0] < 0:
+        raise ExecutionError("SQRT of a negative number")
+    return math.sqrt(args[0])
+
+
+def _position(args: Sequence[Any]) -> Any:
+    """POSITION(needle, haystack) — 1-based, 0 when absent (SQL style)."""
+    if _null_in(args):
+        return Null
+    return str(args[1]).find(str(args[0])) + 1
+
+
+def _replace(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    return str(args[0]).replace(str(args[1]), str(args[2]))
+
+
+def _left(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    return str(args[0])[: max(0, int(args[1]))]
+
+
+def _right(args: Sequence[Any]) -> Any:
+    if _null_in(args):
+        return Null
+    count = max(0, int(args[1]))
+    return str(args[0])[-count:] if count else ""
+
+
+SCALAR_BUILTINS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "UPPER": _upper,
+    "LOWER": _lower,
+    "LENGTH": _length,
+    "CHAR_LENGTH": _length,
+    "TRIM": _trim,
+    "SUBSTRING": _substring,
+    "SUBSTR": _substring,
+    "ABS": _abs,
+    "MOD": _mod,
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "FIRST_INSTANCE": _first_instance,
+    "LAST_INSTANCE": _last_instance,
+    "LEAST": _first_instance,
+    "GREATEST": _last_instance,
+    "YEAR": _year,
+    "MONTH": _month,
+    "DAY": _day,
+    "DAYS": _days,
+    "DATE": _date_fn,
+    "ROUND": _round,
+    "FLOOR": _floor,
+    "CEILING": _ceiling,
+    "CEIL": _ceiling,
+    "SIGN": _sign,
+    "POWER": _power,
+    "SQRT": _sqrt,
+    "POSITION": _position,
+    "REPLACE": _replace,
+    "LEFT": _left,
+    "RIGHT": _right,
+}
+
+
+def is_scalar_builtin(name: str) -> bool:
+    return name.upper() in SCALAR_BUILTINS
+
+
+def call_scalar_builtin(name: str, args: Sequence[Any]) -> Any:
+    """Invoke a builtin; ill-typed arguments surface as engine errors."""
+    try:
+        return SCALAR_BUILTINS[name.upper()](args)
+    except (TypeError, ValueError, IndexError) as exc:
+        raise TypeError_(f"{name.upper()}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# aggregates
+# ---------------------------------------------------------------------------
+
+
+def evaluate_aggregate(
+    name: str,
+    values: Sequence[Any],
+    distinct: bool = False,
+    star: bool = False,
+) -> Any:
+    """Fold ``values`` (one per input row) with the named aggregate.
+
+    NULLs are ignored per SQL; COUNT(*) counts rows regardless.
+    """
+    upper = name.upper()
+    if upper == "COUNT" and star:
+        return len(values)
+    non_null = [v for v in values if v is not Null]
+    if distinct:
+        seen: dict = {}
+        for value in non_null:
+            seen.setdefault(sort_key(value), value)
+        non_null = list(seen.values())
+    if upper == "COUNT":
+        return len(non_null)
+    if not non_null:
+        return Null
+    if upper == "SUM":
+        return sum(non_null)
+    if upper == "AVG":
+        return sum(non_null) / len(non_null)
+    if upper == "MIN":
+        best = non_null[0]
+        for value in non_null[1:]:
+            if compare(value, best) < 0:
+                best = value
+        return best
+    if upper == "MAX":
+        best = non_null[0]
+        for value in non_null[1:]:
+            if compare(value, best) > 0:
+                best = value
+        return best
+    raise ExecutionError(f"unknown aggregate {name}")

@@ -1,0 +1,139 @@
+"""Hand-written lexer for SQL/PSM text.
+
+Produces a flat list of :class:`~repro.sqlengine.tokens.Token`.  The
+grammar is the SQL subset described in DESIGN.md section 3.1 plus the
+temporal keywords, which lex like any other keyword; whether they are
+*meaningful* is the parser's concern.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.errors import LexError
+from repro.sqlengine.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenKind
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_SPACE = frozenset(" \t\r\n")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into a token list terminated by an EOF token.
+
+    Raises :class:`LexError` on unterminated strings or stray characters.
+    Supports ``--`` line comments and ``/* ... */`` block comments.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in _SPACE:
+            if ch == "\n":
+                line += 1
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", i, line)
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i, line = _lex_string(text, i, line)
+            tokens.append(Token(TokenKind.STRING, value, i, line))
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            start = i
+            i = _scan_number(text, i)
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start, line))
+            continue
+        if ch in _IDENT_START or ch == '"':
+            token, i = _lex_word(text, i, line)
+            tokens.append(token)
+            continue
+        op = _match_operator(text, i)
+        if op is not None:
+            tokens.append(Token(TokenKind.OPERATOR, op, i, line))
+            i += len(op)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, i, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i, line)
+    tokens.append(Token(TokenKind.EOF, "", n, line))
+    return tokens
+
+
+def _lex_string(text: str, i: int, line: int) -> tuple[str, int, int]:
+    """Lex a single-quoted string starting at ``i``; '' escapes a quote."""
+    start = i
+    i += 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1, line
+        if ch == "\n":
+            line += 1
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start, line)
+
+
+def _scan_number(text: str, i: int) -> int:
+    """Scan an integer or decimal literal, returning the end offset."""
+    n = len(text)
+    while i < n and text[i] in _DIGITS:
+        i += 1
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1] in _DIGITS:
+        i += 1
+        while i < n and text[i] in _DIGITS:
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j] in _DIGITS:
+            i = j
+            while i < n and text[i] in _DIGITS:
+                i += 1
+    return i
+
+
+def _lex_word(text: str, i: int, line: int) -> tuple[Token, int]:
+    """Lex an identifier, keyword, or double-quoted delimited identifier."""
+    start = i
+    if text[i] == '"':
+        end = text.find('"', i + 1)
+        if end < 0:
+            raise LexError("unterminated delimited identifier", i, line)
+        return Token(TokenKind.IDENT, text[i + 1 : end], start, line), end + 1
+    n = len(text)
+    while i < n and text[i] in _IDENT_CONT:
+        i += 1
+    word = text[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenKind.KEYWORD, upper, start, line), i
+    return Token(TokenKind.IDENT, word, start, line), i
+
+
+def _match_operator(text: str, i: int) -> str | None:
+    """Return the longest operator starting at ``i``, or None."""
+    for op in OPERATORS:
+        if text.startswith(op, i):
+            return op
+    return None

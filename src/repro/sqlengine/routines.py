@@ -1,0 +1,579 @@
+"""The PSM interpreter: stored functions and procedures.
+
+Executes routine bodies (compound statements, variables, control flow,
+cursors) against the relational core in
+:mod:`repro.sqlengine.executor`.  Every routine invocation increments the
+engine's per-routine call counter — the machine-independent cost metric
+the paper's MAX-vs-PERST comparison turns on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Routine
+from repro.sqlengine.errors import (
+    CardinalityError,
+    CursorError,
+    ExecutionError,
+    RoutineError,
+)
+from repro.sqlengine.executor import Binding, Env, Executor, ResultSet
+from repro.sqlengine.storage import Column, Table
+from repro.sqlengine.types import SqlType, coerce
+from repro.sqlengine.values import Null, truth
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Leave(Exception):
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+class _Iterate(Exception):
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+class _CursorState:
+    __slots__ = ("select", "rows", "columns", "position", "is_open")
+
+    def __init__(self, select: ast.Select) -> None:
+        self.select = select
+        self.rows: list[list[Any]] = []
+        self.columns: list[str] = []
+        self.position = 0
+        self.is_open = False
+
+
+class _Handler:
+    __slots__ = ("kind", "condition", "action", "depth")
+
+    def __init__(self, kind: str, condition: str, action: ast.Statement, depth: int) -> None:
+        self.kind = kind
+        self.condition = condition
+        self.action = action
+        self.depth = depth
+
+
+class Frame:
+    """One routine invocation: scoped variables, cursors, handlers."""
+
+    def __init__(self, routine_name: str) -> None:
+        self.routine_name = routine_name
+        self.scopes: list[dict[str, dict]] = [{}]
+        self.cursors: dict[str, _CursorState] = {}
+        self.handlers: list[_Handler] = []
+        self.result_sets: list[ResultSet] = []
+        self.parent = None  # no closure chain; queries see only this frame
+
+    # -- scope management -----------------------------------------------
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        depth = len(self.scopes)
+        self.scopes.pop()
+        self.handlers = [h for h in self.handlers if h.depth < depth]
+
+    def declare_scalar(self, name: str, type_: SqlType, value: Any = Null) -> None:
+        self.scopes[-1][name.lower()] = {
+            "kind": "scalar",
+            "type": type_,
+            "value": coerce(value, type_) if value is not Null else Null,
+        }
+
+    def declare_table_var(self, name: str, array_type: ast.RowArrayType) -> Table:
+        columns = [Column(f.name, f.type) for f in array_type.fields]
+        table = Table(name, columns, temporary=True)
+        self.scopes[-1][name.lower()] = {"kind": "table", "table": table}
+        return table
+
+    def declare_record(self, name: str, columns: dict[str, int], row: list[Any]) -> None:
+        self.scopes[-1][name.lower()] = {
+            "kind": "record",
+            "columns": columns,
+            "row": row,
+        }
+
+    def _find_slot(self, key: str) -> Optional[dict]:
+        for scope in reversed(self.scopes):
+            slot = scope.get(key)
+            if slot is not None:
+                return slot
+        return None
+
+    # -- lookups used by the executor's Env -------------------------------
+
+    def lookup_variable(self, key: str) -> tuple[bool, Any]:
+        slot = self._find_slot(key)
+        if slot is not None:
+            if slot["kind"] == "scalar":
+                return True, slot["value"]
+            if slot["kind"] == "table":
+                return True, slot["table"]
+        # unqualified access to a FOR-loop record field
+        for scope in reversed(self.scopes):
+            for slot in scope.values():
+                if slot["kind"] == "record":
+                    index = slot["columns"].get(key)
+                    if index is not None:
+                        return True, slot["row"][index]
+        return False, None
+
+    def lookup_record_field(self, qualifier: str, key: str) -> tuple[bool, Any]:
+        slot = self._find_slot(qualifier)
+        if slot is not None and slot["kind"] == "record":
+            index = slot["columns"].get(key)
+            if index is not None:
+                return True, slot["row"][index]
+        return False, None
+
+    def lookup_table_var(self, name: str) -> Optional[Table]:
+        slot = self._find_slot(name.lower())
+        if slot is not None and slot["kind"] == "table":
+            return slot["table"]
+        return None
+
+    def set_variable(self, name: str, value: Any) -> None:
+        key = name.lower()
+        slot = self._find_slot(key)
+        if slot is None:
+            raise RoutineError(
+                f"unknown variable {name!r} in {self.routine_name}"
+            )
+        if slot["kind"] != "scalar":
+            raise RoutineError(f"cannot SET non-scalar variable {name!r}")
+        slot["value"] = coerce(value, slot["type"])
+
+    # -- handlers ----------------------------------------------------------
+
+    def add_handler(self, handler: ast.DeclareHandler) -> None:
+        self.handlers.append(
+            _Handler(handler.kind, handler.condition, handler.action, len(self.scopes))
+        )
+
+    def find_handler(self, condition: str) -> Optional[_Handler]:
+        for handler in reversed(self.handlers):
+            if handler.condition == condition:
+                return handler
+        return None
+
+
+class RoutineInterpreter:
+    """Executes routine bodies; one instance per engine, stateless."""
+
+    MAX_DEPTH = 64
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self.db = executor.db
+
+    # ------------------------------------------------------------------
+    # invocation entry points
+    # ------------------------------------------------------------------
+
+    def invoke_function(self, name: str, args: list[Any]) -> Any:
+        routine = self.db.catalog.get_routine(name)
+        if routine.kind != "FUNCTION":
+            raise RoutineError(f"{name} is a procedure; use CALL")
+        value = self._invoke(routine, args)
+        returns = routine.definition.returns
+        if isinstance(returns, ast.RowArrayType):
+            return value
+        if value is Null:
+            return Null
+        return coerce(value, returns)
+
+    def invoke_table_function(
+        self, name: str, args: list[Any]
+    ) -> tuple[list[str], list[list[Any]]]:
+        routine = self.db.catalog.get_routine(name)
+        returns = routine.definition.returns
+        if not isinstance(returns, ast.RowArrayType):
+            raise RoutineError(f"{name} does not return a row array")
+        value = self._invoke(routine, args)
+        columns = list(returns.column_names)
+        if value is Null or value is None:
+            return columns, []
+        if isinstance(value, Table):
+            return columns, [list(row) for row in value.rows]
+        raise RoutineError(
+            f"table function {name} returned {type(value).__name__},"
+            " expected a row-array variable"
+        )
+
+    def call_procedure(
+        self, stmt: ast.CallStatement, caller_env: Optional[Env]
+    ) -> list[ResultSet]:
+        routine = self.db.catalog.get_routine(stmt.name)
+        if routine.kind != "PROCEDURE":
+            raise RoutineError(f"{stmt.name} is a function; invoke it in a query")
+        params = routine.params
+        if len(stmt.args) != len(params):
+            raise RoutineError(
+                f"{stmt.name} expects {len(params)} arguments, got {len(stmt.args)}"
+            )
+        caller_frame = caller_env.frame if caller_env is not None else None
+        eval_env = caller_env if caller_env is not None else Env()
+        arg_values: list[Any] = []
+        out_targets: list[tuple[int, str]] = []
+        for index, (param, arg) in enumerate(zip(params, stmt.args)):
+            if param.mode in ("OUT", "INOUT"):
+                if not isinstance(arg, ast.Name) or arg.qualifier is not None:
+                    raise RoutineError(
+                        f"argument {index + 1} of {stmt.name} must be a variable"
+                        f" ({param.mode} parameter)"
+                    )
+                out_targets.append((index, arg.name))
+                if param.mode == "INOUT":
+                    arg_values.append(self.executor.evaluate(arg, eval_env))
+                else:
+                    arg_values.append(Null)
+            else:
+                arg_values.append(self.executor.evaluate(arg, eval_env))
+        frame = self._new_frame(routine, arg_values)
+        self._count_call(routine.name)
+        try:
+            self.execute_statement(routine.definition.body, frame)
+        except _Return:
+            pass
+        # copy OUT / INOUT parameters back to the caller
+        for index, var_name in out_targets:
+            found, value = frame.lookup_variable(params[index].name.lower())
+            if not found:  # pragma: no cover - parameters always exist
+                value = Null
+            if caller_frame is not None:
+                caller_frame.set_variable(var_name, value)
+        return frame.result_sets
+
+    def _invoke(self, routine: Routine, args: list[Any]) -> Any:
+        params = routine.params
+        if len(args) != len(params):
+            raise RoutineError(
+                f"{routine.name} expects {len(params)} arguments, got {len(args)}"
+            )
+        frame = self._new_frame(routine, args)
+        self._count_call(routine.name)
+        try:
+            self.execute_statement(routine.definition.body, frame)
+        except _Return as ret:
+            return ret.value
+        return Null
+
+    def _new_frame(self, routine: Routine, args: list[Any]) -> Frame:
+        if self.db.stats.call_depth >= self.MAX_DEPTH:
+            raise RoutineError("routine call depth exceeded")
+        frame = Frame(routine.name)
+        for param, value in zip(routine.params, args):
+            frame.declare_scalar(param.name, param.type, value)
+        return frame
+
+    def _count_call(self, name: str) -> None:
+        stats = self.db.stats
+        stats.total_routine_calls += 1
+        stats.routine_calls[name.lower()] = stats.routine_calls.get(name.lower(), 0) + 1
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute_statement(self, stmt: ast.Statement, frame: Frame) -> None:
+        if getattr(stmt, "modifier", None) is not None:
+            raise ExecutionError(
+                "temporal statement modifiers require the temporal stratum"
+            )
+        self.db.stats.statements += 1
+        self.db.stats.call_depth += 1
+        try:
+            self._dispatch(stmt, frame)
+        finally:
+            self.db.stats.call_depth -= 1
+
+    def _dispatch(self, stmt: ast.Statement, frame: Frame) -> None:
+        env = Env(frame=frame)
+        if isinstance(stmt, ast.Compound):
+            self._execute_compound(stmt, frame)
+        elif isinstance(stmt, ast.DeclareVariable):
+            self._declare_variable(stmt, frame)
+        elif isinstance(stmt, ast.DeclareCursor):
+            frame.cursors[stmt.name.lower()] = _CursorState(stmt.select)
+        elif isinstance(stmt, ast.DeclareHandler):
+            frame.add_handler(stmt)
+        elif isinstance(stmt, ast.SetStatement):
+            self._execute_set(stmt, frame, env)
+        elif isinstance(stmt, ast.SelectInto):
+            self._execute_select_into(stmt, frame, env)
+        elif isinstance(stmt, ast.IfStatement):
+            self._execute_if(stmt, frame, env)
+        elif isinstance(stmt, ast.CaseStatement):
+            self._execute_case(stmt, frame, env)
+        elif isinstance(stmt, ast.WhileStatement):
+            self._execute_while(stmt, frame, env)
+        elif isinstance(stmt, ast.RepeatStatement):
+            self._execute_repeat(stmt, frame, env)
+        elif isinstance(stmt, ast.ForStatement):
+            self._execute_for(stmt, frame, env)
+        elif isinstance(stmt, ast.LoopStatement):
+            self._execute_loop(stmt, frame)
+        elif isinstance(stmt, ast.LeaveStatement):
+            raise _Leave(stmt.label.lower())
+        elif isinstance(stmt, ast.IterateStatement):
+            raise _Iterate(stmt.label.lower())
+        elif isinstance(stmt, ast.ReturnStatement):
+            value = (
+                self.executor.evaluate(stmt.value, env)
+                if stmt.value is not None
+                else Null
+            )
+            raise _Return(value)
+        elif isinstance(stmt, ast.CallStatement):
+            results = self.call_procedure(stmt, env)
+            frame.result_sets.extend(results)
+        elif isinstance(stmt, ast.OpenCursor):
+            self._execute_open(stmt, frame, env)
+        elif isinstance(stmt, ast.FetchCursor):
+            self._execute_fetch(stmt, frame)
+        elif isinstance(stmt, ast.CloseCursor):
+            self._execute_close(stmt, frame)
+        elif isinstance(stmt, ast.Select):
+            result = self.executor.execute_select(stmt, env)
+            frame.result_sets.append(result)
+        elif isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            self.executor.execute(stmt, env)
+        elif isinstance(stmt, (ast.CreateTable, ast.DropTable)):
+            self.executor.execute(stmt, env)
+        else:
+            raise RoutineError(
+                f"unsupported statement in routine body: {type(stmt).__name__}"
+            )
+
+    # -- compound ---------------------------------------------------------
+
+    def _execute_compound(self, stmt: ast.Compound, frame: Frame) -> None:
+        frame.push_scope()
+        try:
+            for declaration in stmt.declarations:
+                self.execute_statement(declaration, frame)
+            for inner in stmt.statements:
+                self.execute_statement(inner, frame)
+        finally:
+            frame.pop_scope()
+
+    def _declare_variable(self, stmt: ast.DeclareVariable, frame: Frame) -> None:
+        if stmt.array_type is not None:
+            for name in stmt.names:
+                frame.declare_table_var(name, stmt.array_type)
+            return
+        env = Env(frame=frame)
+        default = (
+            self.executor.evaluate(stmt.default, env)
+            if stmt.default is not None
+            else Null
+        )
+        for name in stmt.names:
+            frame.declare_scalar(name, stmt.type, default)
+
+    # -- assignment ---------------------------------------------------------
+
+    def _execute_set(self, stmt: ast.SetStatement, frame: Frame, env: Env) -> None:
+        if len(stmt.targets) == 1:
+            value = self.executor.evaluate(stmt.value, env)
+            frame.set_variable(stmt.targets[0], value)
+            return
+        # row form: SET (a, b) = (SELECT x, y ...)
+        value_expr = stmt.value
+        if isinstance(value_expr, ast.Parenthesized):
+            value_expr = value_expr.expr
+        if isinstance(value_expr, ast.ScalarSubquery):
+            result = self.executor.execute_select(value_expr.select, env)
+            if len(result.rows) > 1:
+                raise CardinalityError("row SET: query returned more than one row")
+            if not result.rows:
+                self._signal_not_found(frame)
+                return
+            row = result.rows[0]
+            if len(row) != len(stmt.targets):
+                raise RoutineError(
+                    f"row SET: {len(stmt.targets)} targets but {len(row)} columns"
+                )
+            for target, value in zip(stmt.targets, row):
+                frame.set_variable(target, value)
+            return
+        raise RoutineError("row SET requires a row subquery")
+
+    def _execute_select_into(
+        self, stmt: ast.SelectInto, frame: Frame, env: Env
+    ) -> None:
+        result = self.executor.execute_select(stmt.select, env)
+        if len(result.rows) > 1:
+            raise CardinalityError("SELECT INTO returned more than one row")
+        if not result.rows:
+            self._signal_not_found(frame)
+            return
+        row = result.rows[0]
+        if len(row) != len(stmt.targets):
+            raise RoutineError(
+                f"SELECT INTO: {len(stmt.targets)} targets but {len(row)} columns"
+            )
+        for target, value in zip(stmt.targets, row):
+            frame.set_variable(target, value)
+
+    # -- control flow ---------------------------------------------------
+
+    def _execute_if(self, stmt: ast.IfStatement, frame: Frame, env: Env) -> None:
+        for condition, body in stmt.branches:
+            if truth(self.executor.evaluate(condition, env)):
+                for inner in body:
+                    self.execute_statement(inner, frame)
+                return
+        if stmt.else_branch is not None:
+            for inner in stmt.else_branch:
+                self.execute_statement(inner, frame)
+
+    def _execute_case(self, stmt: ast.CaseStatement, frame: Frame, env: Env) -> None:
+        from repro.sqlengine.values import compare
+
+        if stmt.operand is not None:
+            operand = self.executor.evaluate(stmt.operand, env)
+            for when, body in stmt.whens:
+                if compare(operand, self.executor.evaluate(when, env)) == 0:
+                    for inner in body:
+                        self.execute_statement(inner, frame)
+                    return
+        else:
+            for when, body in stmt.whens:
+                if truth(self.executor.evaluate(when, env)):
+                    for inner in body:
+                        self.execute_statement(inner, frame)
+                    return
+        if stmt.else_branch is not None:
+            for inner in stmt.else_branch:
+                self.execute_statement(inner, frame)
+
+    def _execute_while(self, stmt: ast.WhileStatement, frame: Frame, env: Env) -> None:
+        label = (stmt.label or "").lower()
+        while truth(self.executor.evaluate(stmt.condition, env)):
+            try:
+                for inner in stmt.body:
+                    self.execute_statement(inner, frame)
+            except _Leave as leave:
+                if leave.label == label:
+                    return
+                raise
+            except _Iterate as iterate:
+                if iterate.label != label:
+                    raise
+
+    def _execute_repeat(self, stmt: ast.RepeatStatement, frame: Frame, env: Env) -> None:
+        label = (stmt.label or "").lower()
+        while True:
+            try:
+                for inner in stmt.body:
+                    self.execute_statement(inner, frame)
+            except _Leave as leave:
+                if leave.label == label:
+                    return
+                raise
+            except _Iterate as iterate:
+                if iterate.label != label:
+                    raise
+            if truth(self.executor.evaluate(stmt.until, env)):
+                return
+
+    def _execute_for(self, stmt: ast.ForStatement, frame: Frame, env: Env) -> None:
+        label = (stmt.label or "").lower()
+        result = self.executor.execute_select(stmt.select, env)
+        colmap = {name.lower(): i for i, name in enumerate(result.columns)}
+        for row in result.rows:
+            frame.push_scope()
+            frame.declare_record(stmt.loop_var, colmap, list(row))
+            try:
+                for inner in stmt.body:
+                    self.execute_statement(inner, frame)
+            except _Leave as leave:
+                frame.pop_scope()
+                if leave.label == label:
+                    return
+                raise
+            except _Iterate as iterate:
+                frame.pop_scope()
+                if iterate.label != label:
+                    raise
+                continue
+            frame.pop_scope()
+
+    def _execute_loop(self, stmt: ast.LoopStatement, frame: Frame) -> None:
+        label = (stmt.label or "").lower()
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > 10_000_000:  # pragma: no cover - runaway guard
+                raise RoutineError("LOOP exceeded iteration guard")
+            try:
+                for inner in stmt.body:
+                    self.execute_statement(inner, frame)
+            except _Leave as leave:
+                if leave.label == label:
+                    return
+                raise
+            except _Iterate as iterate:
+                if iterate.label != label:
+                    raise
+
+    # -- cursors ------------------------------------------------------------
+
+    def _cursor(self, frame: Frame, name: str) -> _CursorState:
+        cursor = frame.cursors.get(name.lower())
+        if cursor is None:
+            raise CursorError(f"no such cursor: {name}")
+        return cursor
+
+    def _execute_open(self, stmt: ast.OpenCursor, frame: Frame, env: Env) -> None:
+        cursor = self._cursor(frame, stmt.name)
+        if cursor.is_open:
+            raise CursorError(f"cursor {stmt.name} is already open")
+        result = self.executor.execute_select(cursor.select, env)
+        cursor.rows = result.rows
+        cursor.columns = result.columns
+        cursor.position = 0
+        cursor.is_open = True
+
+    def _execute_fetch(self, stmt: ast.FetchCursor, frame: Frame) -> None:
+        cursor = self._cursor(frame, stmt.name)
+        if not cursor.is_open:
+            raise CursorError(f"cursor {stmt.name} is not open")
+        if cursor.position >= len(cursor.rows):
+            self._signal_not_found(frame)
+            return
+        row = cursor.rows[cursor.position]
+        cursor.position += 1
+        if len(row) != len(stmt.targets):
+            raise CursorError(
+                f"FETCH {stmt.name}: {len(stmt.targets)} targets but"
+                f" {len(row)} columns"
+            )
+        for target, value in zip(stmt.targets, row):
+            frame.set_variable(target, value)
+
+    def _execute_close(self, stmt: ast.CloseCursor, frame: Frame) -> None:
+        cursor = self._cursor(frame, stmt.name)
+        if not cursor.is_open:
+            raise CursorError(f"cursor {stmt.name} is not open")
+        cursor.is_open = False
+        cursor.rows = []
+        cursor.position = 0
+
+    # -- conditions -----------------------------------------------------
+
+    def _signal_not_found(self, frame: Frame) -> None:
+        handler = frame.find_handler("NOT FOUND")
+        if handler is None:
+            return  # SQLSTATE 02000 is a completion condition, not an error
+        self.execute_statement(handler.action, frame)

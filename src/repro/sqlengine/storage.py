@@ -1,0 +1,179 @@
+"""In-memory table storage.
+
+Rows are plain Python lists (one slot per column) so scans, inserts and
+updates stay cheap; :class:`~repro.sqlengine.values.Row` objects are only
+materialised at result boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.sqlengine.errors import CatalogError, ExecutionError
+from repro.sqlengine.types import SqlType, coerce
+from repro.sqlengine.values import Null
+
+
+class Column:
+    """Column metadata."""
+
+    __slots__ = ("name", "type", "not_null", "primary_key")
+
+    def __init__(
+        self,
+        name: str,
+        type_: SqlType,
+        not_null: bool = False,
+        primary_key: bool = False,
+    ) -> None:
+        self.name = name
+        self.type = type_
+        self.not_null = not_null or primary_key
+        self.primary_key = primary_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Column({self.name}, {self.type})"
+
+
+class Table:
+    """A heap table: column metadata plus a list of row lists."""
+
+    def __init__(self, name: str, columns: Sequence[Column], temporary: bool = False) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.temporary = temporary
+        self.rows: list[list[Any]] = []
+        self._index: dict[str, int] = {
+            column.name.lower(): i for i, column in enumerate(self.columns)
+        }
+        if len(self._index) != len(self.columns):
+            raise CatalogError(f"duplicate column names in table {name}")
+        # lazily-built hash indexes for equality lookups; invalidated by
+        # bumping `version` on any mutation
+        self.version = 0
+        self._hash_indexes: dict[int, tuple[int, dict]] = {}
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name} has no column {name!r}"
+            ) from None
+
+    def column_type(self, name: str) -> SqlType:
+        return self.columns[self.column_index(name)].type
+
+    # -- data ---------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any], columns: Optional[Sequence[str]] = None) -> None:
+        """Insert one row; missing columns get NULL, values are coerced."""
+        if columns is None:
+            if len(values) != len(self.columns):
+                raise ExecutionError(
+                    f"INSERT into {self.name}: expected {len(self.columns)}"
+                    f" values, got {len(values)}"
+                )
+            row = [
+                coerce(value, column.type)
+                for value, column in zip(values, self.columns)
+            ]
+        else:
+            if len(values) != len(columns):
+                raise ExecutionError(
+                    f"INSERT into {self.name}: {len(columns)} columns but"
+                    f" {len(values)} values"
+                )
+            row = [Null] * len(self.columns)
+            for name, value in zip(columns, values):
+                index = self.column_index(name)
+                row[index] = coerce(value, self.columns[index].type)
+        for column, value in zip(self.columns, row):
+            if column.not_null and value is Null:
+                raise ExecutionError(
+                    f"NULL not allowed in {self.name}.{column.name}"
+                )
+        self.rows.append(row)
+        self.version += 1
+
+    def scan(self) -> Iterator[list[Any]]:
+        """Iterate over rows.  Callers must not mutate yielded lists."""
+        return iter(self.rows)
+
+    def delete_where(self, predicate: Callable[[list[Any]], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the count removed."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        self.rows = kept
+        if removed:
+            self.version += 1
+        return removed
+
+    def update_where(
+        self,
+        predicate: Callable[[list[Any]], bool],
+        updater: Callable[[list[Any]], dict[int, Any]],
+    ) -> int:
+        """Update matching rows in place; returns the count updated.
+
+        ``updater`` receives the *pre-update* row and returns a mapping of
+        column index to new (already evaluated) value; coercion applies.
+        """
+        count = 0
+        for row in self.rows:
+            if predicate(row):
+                changes = updater(row)
+                for index, value in changes.items():
+                    row[index] = coerce(value, self.columns[index].type)
+                count += 1
+        if count:
+            self.version += 1
+        return count
+
+    def truncate(self) -> None:
+        self.rows = []
+        self.version += 1
+
+    def hash_index(self, column_index: int) -> dict:
+        """A hash index mapping sort-keyed column values to row lists.
+
+        Built lazily and rebuilt whenever the table has been mutated
+        since the last build.  NULLs are excluded (equality with NULL is
+        never True).
+        """
+        from repro.sqlengine.values import Null, sort_key
+
+        cached = self._hash_indexes.get(column_index)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        index: dict = {}
+        for row in self.rows:
+            value = row[column_index]
+            if value is Null:
+                continue
+            index.setdefault(sort_key(value), []).append(row)
+        self._hash_indexes[column_index] = (self.version, index)
+        return index
+
+    def clone_empty(self, name: Optional[str] = None) -> "Table":
+        """A new empty table with the same column layout."""
+        return Table(
+            name or self.name,
+            [Column(c.name, c.type, c.not_null, c.primary_key) for c in self.columns],
+            temporary=self.temporary,
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name}, {len(self.rows)} rows)"

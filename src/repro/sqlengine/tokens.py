@@ -1,0 +1,90 @@
+"""Token definitions for the SQL/PSM lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENT = auto()
+    STRING = auto()
+    NUMBER = auto()
+    OPERATOR = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+# Reserved words recognised by the parser.  SQL identifiers matching one
+# of these (case-insensitively) lex as KEYWORD; everything else is IDENT.
+KEYWORDS = frozenset(
+    {
+        # query
+        "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "GROUP", "BY",
+        "HAVING", "ORDER", "ASC", "DESC", "UNION", "EXCEPT", "INTERSECT",
+        "AS", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
+        "CROSS", "LIMIT", "OFFSET",
+        # predicates / expressions
+        "AND", "OR", "NOT", "NULL", "IS", "IN", "EXISTS", "BETWEEN",
+        "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "TRUE",
+        "FALSE", "UNKNOWN", "SOME", "ANY",
+        # DML
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        # DDL
+        "CREATE", "DROP", "TABLE", "VIEW", "TEMPORARY", "PRIMARY", "KEY",
+        "INDEX", "ALTER", "ADD",
+        # types
+        "INTEGER", "INT", "SMALLINT", "BIGINT", "DECIMAL", "NUMERIC",
+        "FLOAT", "REAL", "DOUBLE", "PRECISION", "CHAR", "CHARACTER",
+        "VARCHAR", "VARYING", "DATE", "BOOLEAN", "ROW", "ARRAY",
+        # PSM
+        "FUNCTION", "PROCEDURE", "RETURNS", "RETURN", "BEGIN", "DECLARE",
+        "IF", "ELSEIF", "WHILE", "DO", "REPEAT", "UNTIL", "FOR", "LOOP",
+        "LEAVE", "ITERATE", "CALL", "CURSOR", "OPEN", "FETCH", "CLOSE",
+        "LANGUAGE", "SQL", "READS", "MODIFIES", "CONTAINS", "DATA",
+        "DETERMINISTIC", "HANDLER", "CONTINUE", "EXIT", "FOUND", "SQLSTATE",
+        "CONDITION", "OUT", "INOUT", "ATOMIC", "ELSE",
+        # misc
+        "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
+        # temporal (recognised by the stratum's parser extension; the
+        # conventional parser treats these as ordinary identifiers unless
+        # temporal parsing is enabled)
+        "VALIDTIME", "NONSEQUENCED", "TRANSACTIONTIME",
+    }
+)
+
+# Multi-character operators, longest first so the lexer can greedy-match.
+OPERATORS = ("<>", "<=", ">=", "||", "!=", "=", "<", ">", "+", "-", "*", "/", ":")
+
+PUNCTUATION = ("(", ")", ",", ";", ".", "[", "]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the normalised text: upper-case for keywords, original
+    spelling for identifiers and literals (string literals are stored
+    without the surrounding quotes, with doubled quotes collapsed).
+    """
+
+    kind: TokenKind
+    value: str
+    position: int
+    line: int
+
+    def matches(self, kind: TokenKind, value: str | None = None) -> bool:
+        """Return True if this token has ``kind`` (and ``value``, if given)."""
+        if self.kind is not kind:
+            return False
+        return value is None or self.value == value
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.value in words
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind.name}({self.value!r})"

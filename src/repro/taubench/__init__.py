@@ -1,0 +1,27 @@
+"""The τPSM benchmark (paper §VII-A), part of τBench.
+
+A synthetic bookstore catalog in the shape of XBench DC/SD, shredded
+into six temporal tables, with a change simulator producing the DS1 /
+DS2 / DS3 datasets in SMALL / MEDIUM / LARGE sizes, and the sixteen PSM
+queries q2..q20 each highlighting one SQL/PSM construct.
+"""
+
+from repro.taubench.datasets import (
+    DATASETS,
+    SIZES,
+    DatasetSpec,
+    build_dataset,
+    load_dataset,
+)
+from repro.taubench.queries import ALL_QUERIES, QuerySpec, get_query
+
+__all__ = [
+    "DATASETS",
+    "SIZES",
+    "DatasetSpec",
+    "build_dataset",
+    "load_dataset",
+    "ALL_QUERIES",
+    "QuerySpec",
+    "get_query",
+]

@@ -1,0 +1,130 @@
+"""Deterministic DC/SD-style bookstore content generator.
+
+The paper used XBench's randomly generated document-centric/single
+document catalog; we generate equivalent relational content directly
+(same entities, same cardinality ratios) from a seeded PRNG so every
+dataset is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sqlengine.values import Date
+
+FIRST_NAMES = [
+    "Ben", "Rosa", "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald",
+    "Tim", "Radia", "Leslie", "John", "Marvin", "Claude", "Hedy", "Annie",
+    "Niklaus", "Dennis", "Ken", "Bjarne", "Guido", "Yukihiro", "Brendan",
+    "Anders", "Margaret", "Katherine", "Dorothy", "Mary", "Frances", "Jean",
+]
+LAST_NAMES = [
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth",
+    "Berners-Lee", "Perlman", "Lamport", "McCarthy", "Minsky", "Shannon",
+    "Lamarr", "Easley", "Wirth", "Ritchie", "Thompson", "Stroustrup",
+    "van Rossum", "Matsumoto", "Eich", "Hejlsberg", "Hamilton", "Johnson",
+    "Vaughan", "Jackson", "Spence", "Bartik", "Holberton", "Sammet",
+]
+COUNTRIES = [
+    "USA", "Canada", "UK", "Germany", "Denmark", "Netherlands", "France",
+    "Japan", "Switzerland", "Australia",
+]
+CITIES = [
+    "Tucson", "San Jose", "Kingston", "Boston", "Seattle", "Aarhus",
+    "Zurich", "Kyoto", "Amsterdam", "Cambridge",
+]
+TITLE_WORDS = [
+    "Temporal", "Database", "Systems", "Advanced", "Introduction",
+    "Principles", "Foundations", "Modern", "Practical", "Theory",
+    "Queries", "Transactions", "Concurrency", "Design", "Implementation",
+    "Distributed", "Relational", "Stored", "Procedures", "Time",
+]
+SUBJECTS = [
+    "databases", "systems", "theory", "networks", "languages",
+    "algorithms", "security", "graphics",
+]
+
+
+@dataclass
+class CatalogData:
+    """Generated base content, before temporal simulation.
+
+    Row layouts match :mod:`repro.taubench.schema` minus the timestamp
+    columns (the simulator appends those).
+    """
+
+    publishers: list[list] = field(default_factory=list)
+    authors: list[list] = field(default_factory=list)
+    items: list[list] = field(default_factory=list)
+    related_items: list[list] = field(default_factory=list)
+    item_author: list[list] = field(default_factory=list)
+    item_publisher: list[list] = field(default_factory=list)
+
+    def table_rows(self) -> dict[str, list[list]]:
+        return {
+            "publisher": self.publishers,
+            "author": self.authors,
+            "item": self.items,
+            "related_items": self.related_items,
+            "item_author": self.item_author,
+            "item_publisher": self.item_publisher,
+        }
+
+
+def generate_catalog(
+    num_items: int,
+    num_authors: int,
+    num_publishers: int,
+    seed: int = 42,
+) -> CatalogData:
+    """Generate a catalog with XBench-like cardinality ratios.
+
+    Each item has 1-3 authors, exactly one publisher, and 0-3 related
+    items; authors and publishers are shared across items.
+    """
+    rng = random.Random(seed)
+    data = CatalogData()
+    for p in range(num_publishers):
+        data.publishers.append(
+            [
+                f"p{p:07d}",
+                f"{rng.choice(LAST_NAMES)} Press",
+                f"{rng.randint(1, 999)} {rng.choice(TITLE_WORDS)} St",
+                rng.choice(CITIES),
+                rng.choice(COUNTRIES),
+            ]
+        )
+    for a in range(num_authors):
+        data.authors.append(
+            [
+                f"a{a:07d}",
+                rng.choice(FIRST_NAMES),
+                rng.choice(LAST_NAMES),
+                rng.choice(COUNTRIES),
+                Date.from_ymd(rng.randint(1930, 1990), rng.randint(1, 12), rng.randint(1, 28)),
+            ]
+        )
+    for i in range(num_items):
+        item_id = f"i{i:07d}"
+        publisher_id = data.publishers[rng.randrange(num_publishers)][0]
+        title = " ".join(rng.sample(TITLE_WORDS, rng.randint(2, 4)))
+        data.items.append(
+            [
+                item_id,
+                f"{title} Vol {i}",
+                publisher_id,
+                Date.from_ymd(rng.randint(1995, 2009), rng.randint(1, 12), rng.randint(1, 28)),
+                rng.randint(80, 900),
+                round(rng.uniform(5.0, 120.0), 2),
+                rng.choice(SUBJECTS),
+            ]
+        )
+        data.item_publisher.append([item_id, publisher_id])
+        for author_index in rng.sample(range(num_authors), rng.randint(1, 3)):
+            data.item_author.append([item_id, data.authors[author_index][0]])
+        for _ in range(rng.randint(0, 3)):
+            other = rng.randrange(num_items)
+            if other != i:
+                data.related_items.append([item_id, f"i{other:07d}"])
+    return data

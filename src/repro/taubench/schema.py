@@ -1,0 +1,85 @@
+"""The six τPSM tables (paper §VII-A1).
+
+τBench shreds the XBench DC/SD book-catalog XML into these relations;
+every one of them carries valid-time support in the temporal variants.
+"""
+
+from __future__ import annotations
+
+# order matters: parents before relationship tables
+TABLE_NAMES = [
+    "publisher",
+    "author",
+    "item",
+    "related_items",
+    "item_author",
+    "item_publisher",
+]
+
+DDL = {
+    "publisher": """
+        CREATE TABLE publisher (
+            publisher_id CHAR(10),
+            name CHAR(60),
+            street CHAR(60),
+            city CHAR(40),
+            country CHAR(40),
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+    "author": """
+        CREATE TABLE author (
+            author_id CHAR(10),
+            first_name CHAR(40),
+            last_name CHAR(40),
+            country CHAR(40),
+            date_of_birth DATE,
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+    "item": """
+        CREATE TABLE item (
+            id CHAR(10),
+            title CHAR(120),
+            publisher_id CHAR(10),
+            pub_date DATE,
+            number_of_pages INTEGER,
+            price FLOAT,
+            subject CHAR(30),
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+    "related_items": """
+        CREATE TABLE related_items (
+            item_id CHAR(10),
+            related_id CHAR(10),
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+    "item_author": """
+        CREATE TABLE item_author (
+            item_id CHAR(10),
+            author_id CHAR(10),
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+    "item_publisher": """
+        CREATE TABLE item_publisher (
+            item_id CHAR(10),
+            publisher_id CHAR(10),
+            begin_time DATE,
+            end_time DATE
+        )
+    """,
+}
+
+
+def create_all(stratum) -> None:
+    """Create the six tables with valid-time support on a stratum."""
+    for table in TABLE_NAMES:
+        stratum.create_temporal_table(DDL[table])

@@ -1,0 +1,200 @@
+"""Temporal change simulation (paper §VII-A1).
+
+τBench turns the static catalog into temporal tables by replaying
+changes at simulation time steps: at each step a configurable number of
+rows are updated (the current version is terminated, a mutated version
+begins).  DS1/DS3 pick victims uniformly; DS2 concentrates changes on
+hot-spot items via a Gaussian over the item index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sqlengine.values import Date
+from repro.taubench.generator import (
+    CITIES,
+    COUNTRIES,
+    FIRST_NAMES,
+    LAST_NAMES,
+    TITLE_WORDS,
+    CatalogData,
+)
+
+TIMELINE_BEGIN = Date.from_ymd(2010, 1, 1)
+FOREVER = Date(Date.MAX_ORDINAL)
+
+# which column of each table a change mutates, and how
+_MUTATIONS = {
+    "item": [
+        ("price", lambda rng, v: round(max(1.0, v * rng.uniform(0.8, 1.25)), 2), 5),
+        ("number_of_pages", lambda rng, v: max(40, v + rng.randint(-60, 60)), 4),
+        ("title", lambda rng, v: _retitle(rng, v), 2),
+    ],
+    "author": [
+        ("first_name", lambda rng, v: rng.choice(FIRST_NAMES), 2),
+        ("country", lambda rng, v: rng.choice(COUNTRIES), 2),
+    ],
+    "publisher": [
+        ("city", lambda rng, v: rng.choice(CITIES), 1),
+        ("name", lambda rng, v: f"{rng.choice(LAST_NAMES)} Press", 1),
+    ],
+    "related_items": [
+        ("related_id", None, 1),  # handled specially (needs an item id)
+    ],
+}
+
+
+def _retitle(rng: random.Random, old: str) -> str:
+    suffix = old.rsplit(" Vol ", 1)
+    base = " ".join(rng.sample(TITLE_WORDS, 3))
+    return f"{base} Vol {suffix[-1]}" if len(suffix) == 2 else base
+
+
+@dataclass
+class VersionedRow:
+    """One version chain entry: values + [begin, end) ordinals."""
+
+    values: list
+    begin: int
+    end: int
+
+
+class TemporalTableBuilder:
+    """Accumulates version chains for one table."""
+
+    def __init__(self, columns: list[str], rows: list[list]) -> None:
+        self.columns = columns
+        self.versions: list[VersionedRow] = [
+            VersionedRow(list(row), TIMELINE_BEGIN.ordinal, FOREVER.ordinal)
+            for row in rows
+        ]
+        # index of the current (open) version per original row
+        self.current: list[int] = list(range(len(rows)))
+
+    def change(self, row_index: int, column: str, new_value, at: int) -> bool:
+        """Terminate the current version at ``at``, begin a mutated one."""
+        version = self.versions[self.current[row_index]]
+        if version.begin >= at:
+            return False  # already changed at this step
+        column_index = self.columns.index(column)
+        if version.values[column_index] == new_value:
+            return False
+        version.end = at
+        new_values = list(version.values)
+        new_values[column_index] = new_value
+        self.versions.append(VersionedRow(new_values, at, FOREVER.ordinal))
+        self.current[row_index] = len(self.versions) - 1
+        return True
+
+    def current_value(self, row_index: int, column: str):
+        version = self.versions[self.current[row_index]]
+        return version.values[self.columns.index(column)]
+
+    def rows_with_periods(self) -> list[list]:
+        return [
+            v.values + [Date(v.begin), Date(v.end)] for v in self.versions
+        ]
+
+
+_COLUMNS = {
+    "publisher": ["publisher_id", "name", "street", "city", "country"],
+    "author": ["author_id", "first_name", "last_name", "country", "date_of_birth"],
+    "item": ["id", "title", "publisher_id", "pub_date", "number_of_pages",
+             "price", "subject"],
+    "related_items": ["item_id", "related_id"],
+    "item_author": ["item_id", "author_id"],
+    "item_publisher": ["item_id", "publisher_id"],
+}
+
+
+def simulate(
+    catalog: CatalogData,
+    num_steps: int,
+    step_days: int,
+    total_changes: int,
+    distribution: str = "uniform",
+    seed: int = 7,
+) -> dict[str, list[list]]:
+    """Replay ``total_changes`` over ``num_steps`` steps of ``step_days``.
+
+    ``distribution``: ``"uniform"`` picks victim rows uniformly;
+    ``"gaussian"`` concentrates item-related changes on hot-spot items
+    (Gaussian over the item index, σ = n/20), the DS2 configuration.
+
+    Returns table name → rows (values + begin_time + end_time).
+    """
+    rng = random.Random(seed)
+    builders = {
+        name: TemporalTableBuilder(_COLUMNS[name], rows)
+        for name, rows in catalog.table_rows().items()
+    }
+    num_items = len(catalog.items)
+    item_sigma = max(1.0, num_items / 20.0)
+    hot_center = num_items // 2
+
+    def pick_item_index() -> int:
+        if distribution == "gaussian":
+            while True:
+                value = int(rng.gauss(hot_center, item_sigma))
+                if 0 <= value < num_items:
+                    return value
+        return rng.randrange(num_items)
+
+    # distribute changes across steps as evenly as possible
+    base, remainder = divmod(total_changes, num_steps)
+    for step in range(num_steps):
+        at = TIMELINE_BEGIN.ordinal + (step + 1) * step_days
+        changes_this_step = base + (1 if step < remainder else 0)
+        applied = 0
+        attempts = 0
+        while applied < changes_this_step and attempts < changes_this_step * 20:
+            attempts += 1
+            table = rng.choices(
+                ["item", "author", "publisher", "related_items"],
+                weights=[5, 3, 1, 1],
+            )[0]
+            builder = builders[table]
+            if table == "item":
+                row_index = pick_item_index()
+            elif table == "related_items":
+                if not builder.current:
+                    continue
+                row_index = self_related_index(rng, builder, catalog, pick_item_index)
+                if row_index is None:
+                    continue
+            else:
+                row_index = rng.randrange(len(builder.current))
+            if table == "related_items":
+                new_value = f"i{rng.randrange(num_items):07d}"
+                if builder.change(row_index, "related_id", new_value, at):
+                    applied += 1
+                continue
+            column, mutate, _weight = _weighted_mutation(rng, table)
+            old = builder.current_value(row_index, column)
+            if builder.change(row_index, column, mutate(rng, old), at):
+                applied += 1
+    return {name: b.rows_with_periods() for name, b in builders.items()}
+
+
+def self_related_index(rng, builder, catalog, pick_item_index):
+    """Pick a related_items row; under Gaussian, one tied to a hot item."""
+    if not builder.current:
+        return None
+    # map: choose a row whose item matches a (possibly hot) item choice
+    target = f"i{pick_item_index():07d}"
+    candidates = [
+        i
+        for i in range(len(builder.current))
+        if builder.versions[builder.current[i]].values[0] == target
+    ]
+    if candidates:
+        return rng.choice(candidates)
+    return rng.randrange(len(builder.current))
+
+
+def _weighted_mutation(rng: random.Random, table: str):
+    options = _MUTATIONS[table]
+    weights = [w for _, _, w in options]
+    return rng.choices(options, weights=weights)[0]

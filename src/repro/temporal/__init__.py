@@ -1,0 +1,30 @@
+"""The temporal stratum: Temporal SQL/PSM → conventional SQL/PSM.
+
+This package implements the paper's contribution:
+
+* :class:`TemporalStratum` — owns a conventional
+  :class:`~repro.sqlengine.Database`, tracks which tables have valid-time
+  support, and executes statements carrying temporal statement modifiers
+  (``VALIDTIME [bt, et]`` / ``NONSEQUENCED VALIDTIME``) by source-to-source
+  transformation.
+* :class:`SlicingStrategy` — ``MAX`` (maximally-fragmented slicing) or
+  ``PERST`` (per-statement slicing) for sequenced evaluation.
+"""
+
+from repro.temporal.errors import (
+    PerStatementInapplicableError,
+    SequencedContextError,
+    TemporalError,
+)
+from repro.temporal.period import Period
+from repro.temporal.stratum import SlicingStrategy, TemporalResult, TemporalStratum
+
+__all__ = [
+    "TemporalStratum",
+    "TemporalResult",
+    "SlicingStrategy",
+    "Period",
+    "TemporalError",
+    "PerStatementInapplicableError",
+    "SequencedContextError",
+]

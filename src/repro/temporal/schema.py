@@ -1,0 +1,82 @@
+"""Temporal table metadata: which tables have valid-time support."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.storage import Table
+
+BEGIN_COLUMN = "begin_time"
+END_COLUMN = "end_time"
+TT_START_COLUMN = "tt_start"
+TT_STOP_COLUMN = "tt_stop"
+
+
+@dataclass(frozen=True)
+class TemporalTableInfo:
+    """One table with valid-time support.
+
+    In the stratum encoding (paper §III) a temporal table is stored as a
+    conventional table with two extra DATE columns delimiting the row's
+    validity period, half-open ``[begin_time, end_time)``.
+    """
+
+    name: str
+    begin_column: str = BEGIN_COLUMN
+    end_column: str = END_COLUMN
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+
+class TemporalRegistry:
+    """The set of temporal tables known to a stratum.
+
+    A registry tracks *one* time dimension (which columns delimit the
+    rows' periods); a stratum holds a valid-time registry and a
+    transaction-time registry, and a bitemporal table appears in both.
+    The transformations are dimension-agnostic — they only consult the
+    registry they are handed.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TemporalTableInfo] = {}
+
+    def add(self, info: TemporalTableInfo, table: Table) -> None:
+        """Register ``table`` as temporal, validating its timestamp columns."""
+        for column in (info.begin_column, info.end_column):
+            if not table.has_column(column):
+                raise CatalogError(
+                    f"temporal table {info.name} lacks timestamp column {column!r}"
+                )
+            if not table.column_type(column).is_date:
+                raise CatalogError(
+                    f"timestamp column {info.name}.{column} must be DATE"
+                )
+        self._tables[info.key] = info
+
+    def remove(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def is_temporal(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def get(self, name: str) -> Optional[TemporalTableInfo]:
+        return self._tables.get(name.lower())
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def infos(self) -> Iterable[TemporalTableInfo]:
+        return self._tables.values()
+
+    def value_columns(self, table: Table) -> list[str]:
+        """The non-timestamp columns of a registered temporal table."""
+        info = self.get(table.name)
+        if info is None:
+            return table.column_names
+        hidden = {info.begin_column.lower(), info.end_column.lower()}
+        return [c for c in table.column_names if c.lower() not in hidden]

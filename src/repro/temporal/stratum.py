@@ -1,0 +1,759 @@
+"""The temporal stratum (paper §III, §IV).
+
+:class:`TemporalStratum` sits in front of a conventional
+:class:`~repro.sqlengine.Database` exactly like the paper's stratum sits
+in front of DB2: Temporal SQL/PSM comes in, conventional SQL/PSM goes
+down to the engine.
+
+* Tables gain valid-time support via ``ALTER TABLE t ADD VALIDTIME`` or
+  :meth:`TemporalStratum.create_temporal_table`.
+* Statements without a temporal modifier keep their legacy meaning on
+  the current state (temporal upward compatibility): they are run
+  through the ``cur⟦·⟧`` transformation when they touch temporal tables.
+* ``VALIDTIME [bt, et] Q`` executes Q with sequenced semantics using
+  either maximally-fragmented slicing (MAX) or per-statement slicing
+  (PERST); ``SlicingStrategy.AUTO`` applies the paper's §VII-F
+  heuristic.
+* ``NONSEQUENCED VALIDTIME Q`` runs Q conventionally with timestamp
+  columns exposed.
+
+Use :meth:`TemporalStratum.transform` to inspect the conventional SQL a
+statement turns into (the paper's Figures 5-11).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Union
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import CatalogError, ExecutionError
+from repro.sqlengine.executor import Binding, Env, ResultSet
+from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.storage import Column
+from repro.sqlengine.types import SqlType
+from repro.sqlengine.values import Date, Null
+from repro.temporal import analysis
+from repro.temporal.constant_periods import materialize_constant_periods
+from repro.temporal.current import CurrentTransformResult, transform_current
+from repro.temporal.errors import SequencedContextError, TemporalError
+from repro.temporal.max_slicing import MaxTransformResult, transform_query_max
+from repro.temporal.period import Period, coalesce
+from repro.temporal.perst_slicing import (
+    BEGIN_PARAM,
+    END_PARAM,
+    PerstTransformer,
+    PerstTransformResult,
+)
+from repro.temporal.schema import TemporalRegistry, TemporalTableInfo
+from repro.temporal.transform_util import clone, rewrite_expressions
+
+MAX_CP_TABLE = "taupsm_cp"
+
+
+class SlicingStrategy(enum.Enum):
+    """How to evaluate a sequenced statement.
+
+    ``AUTO`` applies the paper's §VII-F rule heuristic; ``COST`` uses the
+    §VIII future-work cost model (predicted relative cost from the
+    constant-period count and expected routine invocations) instead.
+    """
+
+    MAX = "max"
+    PERST = "perst"
+    AUTO = "auto"
+    COST = "cost"
+
+
+class TemporalResult:
+    """A sequenced result: value columns plus a validity period per row."""
+
+    def __init__(self, columns: list[str], rows: list[list[Any]]) -> None:
+        if len(columns) < 2:
+            raise TemporalError("temporal result needs period columns")
+        self.columns = columns
+        self.rows = rows
+
+    @property
+    def value_columns(self) -> list[str]:
+        return self.columns[:-2]
+
+    def temporal_rows(self) -> list[tuple[tuple, Period]]:
+        """Rows as (value_tuple, Period) pairs."""
+        out = []
+        for row in self.rows:
+            begin, end = row[-2], row[-1]
+            out.append(
+                (tuple(row[:-2]), Period(begin.ordinal, end.ordinal))
+            )
+        return out
+
+    def coalesced(self) -> list[tuple[tuple, Period]]:
+        """Canonical coalesced form (for comparisons)."""
+        return coalesce(self.temporal_rows())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TemporalResult({self.columns}, {len(self.rows)} rows)"
+
+
+class TemporalStratum:
+    """Temporal SQL/PSM in, conventional SQL/PSM down to the engine."""
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db if db is not None else Database()
+        self.registry = TemporalRegistry()  # valid time
+        self.tt_registry = TemporalRegistry()  # transaction time
+        self._installed_clones: set[str] = set()
+        self._nonseq_only_routines: set[str] = set()
+        self._inner_cp_requirements: dict[str, list[str]] = {}
+        self.last_strategy: Optional[SlicingStrategy] = None
+        # transaction clock: None tracks db.now; set a past date for
+        # time-travel ("as of") reads of transaction-time tables
+        self.transaction_clock: Optional[Date] = None
+
+    @property
+    def clock(self) -> Date:
+        """The transaction-time clock (defaults to ``db.now``)."""
+        return self.transaction_clock if self.transaction_clock is not None else self.db.now
+
+    # ------------------------------------------------------------------
+    # registration / DDL
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        strategy: SlicingStrategy = SlicingStrategy.AUTO,
+    ) -> Any:
+        """Parse and execute one Temporal SQL/PSM statement."""
+        return self.execute_ast(parse_statement(sql), strategy)
+
+    def execute_script(
+        self, sql: str, strategy: SlicingStrategy = SlicingStrategy.AUTO
+    ) -> list[Any]:
+        from repro.sqlengine.parser import parse_script
+
+        return [self.execute_ast(stmt, strategy) for stmt in parse_script(sql)]
+
+    def execute_ast(
+        self,
+        stmt: ast.Statement,
+        strategy: SlicingStrategy = SlicingStrategy.AUTO,
+    ) -> Any:
+        if isinstance(stmt, ast.AlterTable):
+            if stmt.action == "ADD TRANSACTIONTIME":
+                return self.add_transactiontime(stmt.name)
+            return self.add_validtime(stmt.name)
+        if isinstance(stmt, (ast.CreateFunction, ast.CreateProcedure)):
+            return self.register_routine_ast(stmt)
+        if isinstance(stmt, ast.CreateView) and stmt.select.modifier is not None:
+            return self._create_sequenced_view(stmt)
+        modifier = getattr(stmt, "modifier", None)
+        if modifier is None:
+            return self._execute_current_or_plain(stmt)
+        registry = (
+            self.tt_registry if modifier.dimension == "TRANSACTION" else self.registry
+        )
+        if modifier.flavor is ast.TemporalFlavor.NONSEQUENCED:
+            return self._execute_nonsequenced(stmt, modifier.dimension)
+        context = self._resolve_context(stmt, modifier, registry)
+        return self._execute_sequenced(stmt, context, strategy, registry)
+
+    def add_validtime(self, table_name: str) -> TemporalTableInfo:
+        """``ALTER TABLE t ADD VALIDTIME``: give ``t`` valid-time support.
+
+        Missing timestamp columns are added; existing rows become valid
+        over the whole timeline (the usual migration semantics).
+        """
+        table = self.db.catalog.get_table(table_name)
+        info = TemporalTableInfo(name=table.name)
+        for column_name, default in (
+            (info.begin_column, Date(Date.MIN_ORDINAL)),
+            (info.end_column, Date(Date.MAX_ORDINAL)),
+        ):
+            if not table.has_column(column_name):
+                table.columns.append(Column(column_name, SqlType("DATE")))
+                table._index[column_name.lower()] = len(table.columns) - 1
+                for row in table.rows:
+                    row.append(default)
+                table.version += 1
+        self.registry.add(info, table)
+        return info
+
+    def add_transactiontime(self, table_name: str) -> TemporalTableInfo:
+        """``ALTER TABLE t ADD TRANSACTIONTIME``: system-maintained
+        ``[tt_start, tt_stop)`` columns; see :mod:`repro.temporal.transaction`."""
+        from repro.temporal.transaction import add_transactiontime
+
+        return add_transactiontime(self.db, self.tt_registry, table_name, self.clock)
+
+    def _create_sequenced_view(self, stmt: "ast.CreateView") -> None:
+        """A view whose body carries a temporal modifier (paper §III lists
+        view definitions among the statements modifiers apply to).
+
+        Sequenced bodies are transformed with per-statement slicing's
+        algebraic fragment (self-contained SQL, no cp tables), so the
+        stored view stays an ordinary view whose rows carry a validity
+        period; nonsequenced bodies are stored raw.
+        """
+        modifier = stmt.select.modifier
+        if modifier.flavor is ast.TemporalFlavor.NONSEQUENCED:
+            body = clone(stmt.select)
+            body.modifier = None
+            self.db.catalog.add_view(stmt.name, body)
+            return None
+        registry = (
+            self.tt_registry if modifier.dimension == "TRANSACTION" else self.registry
+        )
+        self._check_sequenced_preconditions(stmt.select)
+        transformer = PerstTransformer(self.db.catalog, registry)
+        result = transformer.transform(stmt.select)
+        if result.cp_requirements:
+            raise TemporalError(
+                "sequenced views support the algebraic fragment only"
+                " (no per-statement constant-period loops)"
+            )
+        self._install_routines(result.routines)
+        body = clone(result.statement)
+        context = self._resolve_context(stmt.select, modifier, registry)
+        substitute_context(body, context)
+        self.db.catalog.add_view(stmt.name, body)
+        return None
+
+    def create_temporal_table(self, ddl: str) -> TemporalTableInfo:
+        """CREATE TABLE followed by ADD VALIDTIME, as one call."""
+        stmt = parse_statement(ddl)
+        if not isinstance(stmt, ast.CreateTable):
+            raise TemporalError("create_temporal_table expects CREATE TABLE")
+        self.db.execute_ast(stmt)
+        return self.add_validtime(stmt.name)
+
+    def register_routine(self, sql: str) -> None:
+        """Register a Temporal SQL/PSM routine (stored in original form)."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, (ast.CreateFunction, ast.CreateProcedure)):
+            raise TemporalError("register_routine expects CREATE FUNCTION/PROCEDURE")
+        self.register_routine_ast(stmt)
+
+    def register_routine_ast(
+        self, stmt: Union[ast.CreateFunction, ast.CreateProcedure]
+    ) -> None:
+        from repro.sqlengine.catalog import Routine
+
+        kind = "FUNCTION" if isinstance(stmt, ast.CreateFunction) else "PROCEDURE"
+        if analysis.has_inner_modifier(stmt.body):
+            prepared = self._prepare_inner_modifiers(stmt)
+            self.db.catalog.add_routine(Routine(kind=kind, definition=prepared))
+            self._nonseq_only_routines.add(stmt.name.lower())
+        else:
+            self.db.catalog.add_routine(Routine(kind=kind, definition=stmt))
+        # a re-registration invalidates any clones derived from old bodies
+        self._installed_clones = {
+            c for c in self._installed_clones
+            if not c.endswith("_" + stmt.name.lower())
+        }
+
+    # ------------------------------------------------------------------
+    # transformation inspection
+    # ------------------------------------------------------------------
+
+    def transform(
+        self,
+        sql: str,
+        strategy: SlicingStrategy = SlicingStrategy.MAX,
+    ) -> Union[CurrentTransformResult, MaxTransformResult, PerstTransformResult]:
+        """Return the conventional SQL/PSM a statement transforms into."""
+        stmt = parse_statement(sql)
+        modifier = getattr(stmt, "modifier", None)
+        if modifier is None:
+            return transform_current(stmt, self.db.catalog, self.registry)
+        if modifier.flavor is ast.TemporalFlavor.NONSEQUENCED:
+            plain = clone(stmt)
+            plain.modifier = None
+            return CurrentTransformResult(statement=plain, routines=[])
+        self._check_sequenced_preconditions(stmt)
+        if strategy is SlicingStrategy.PERST:
+            transformer = PerstTransformer(self.db.catalog, self.registry)
+            result = transformer.transform(stmt)
+            context = self._resolve_context(stmt, modifier)
+            substitute_context(result.statement, context)
+            return result
+        return transform_query_max(stmt, self.db.catalog, self.registry, MAX_CP_TABLE)
+
+    # ------------------------------------------------------------------
+    # current / nonsequenced execution
+    # ------------------------------------------------------------------
+
+    def _execute_current_or_plain(self, stmt: ast.Statement) -> Any:
+        touches_vt = analysis.reads_temporal(stmt, self.db.catalog, self.registry)
+        touches_tt = analysis.reads_temporal(stmt, self.db.catalog, self.tt_registry)
+        if not touches_vt and not touches_tt:
+            return self.db.execute_ast(stmt)
+        self._reject_nonseq_only(stmt, "current")
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            dml_result = self._execute_dml(stmt)
+            if dml_result is not NotImplemented:
+                return dml_result
+        if touches_vt:
+            result = transform_current(stmt, self.db.catalog, self.registry)
+            self._install_routines(result.routines)
+            stmt = result.statement
+        if touches_tt:
+            stmt = self._apply_transaction_currency(stmt)
+        return self.db.execute_ast(stmt)
+
+    def _execute_dml(self, stmt) -> Any:
+        """Dispatch modifications of temporal tables.
+
+        Returns NotImplemented when the statement is not a temporal DML
+        (plain tables, or a SELECT-shaped statement) so the caller falls
+        through to the read path.
+        """
+        is_vt = self.registry.is_temporal(stmt.table)
+        is_tt = self.tt_registry.is_temporal(stmt.table)
+        if is_vt and is_tt:
+            raise TemporalError(
+                "direct modification of a bitemporal table through the"
+                " stratum is not supported; load history at the engine"
+                " level or use a transaction-time-only table"
+            )
+        if is_tt:
+            from repro.temporal.transaction import TransactionTimeDml
+
+            dml = TransactionTimeDml(self.db, self.tt_registry)
+            if isinstance(stmt, ast.Insert):
+                return dml.execute_insert(stmt, self.clock)
+            if isinstance(stmt, ast.Update):
+                return dml.execute_update(stmt, self.clock)
+            return dml.execute_delete(stmt, self.clock)
+        if is_vt:
+            if isinstance(stmt, ast.Update):
+                return self._execute_current_update(stmt)
+            if isinstance(stmt, ast.Delete):
+                return self._execute_current_delete(stmt)
+            return NotImplemented  # current INSERT handled by transform
+        return NotImplemented
+
+    def _apply_transaction_currency(self, stmt: ast.Statement) -> ast.Statement:
+        """Restrict transaction-time tables to the rows believed at the
+        clock — the second dimension's current semantics, applied after
+        any valid-time transformation (so it also covers the clones the
+        first pass installed)."""
+        result = transform_current(
+            stmt,
+            self.db.catalog,
+            self.tt_registry,
+            prefix="curtt_",
+            point=ast.Literal(value=self.clock),
+        )
+        self._install_routines(result.routines)
+        return result.statement
+
+    def _execute_current_update(self, stmt: ast.Update) -> int:
+        """TUC UPDATE: terminate currently-valid rows, insert new versions."""
+        info = self.registry.get(stmt.table)
+        table = self.db.catalog.get_table(stmt.table)
+        now = self.db.now
+        alias = stmt.alias or stmt.table
+        colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
+        begin_index = table.column_index(info.begin_column)
+        end_index = table.column_index(info.end_column)
+        executor = self.db.executor
+        env = Env()
+        matches = []
+        for row in table.rows:
+            begin, end = row[begin_index], row[end_index]
+            if not (begin.ordinal <= now.ordinal < end.ordinal):
+                continue
+            env.bindings[alias.lower()] = Binding(colmap, row)
+            from repro.sqlengine.values import truth
+
+            if stmt.where is None or truth(executor.evaluate(stmt.where, env)):
+                matches.append(row)
+        for row in matches:
+            env.bindings[alias.lower()] = Binding(colmap, row)
+            new_row = list(row)
+            for column, expr in stmt.assignments:
+                new_row[table.column_index(column)] = executor.evaluate(expr, env)
+            new_row[begin_index] = now
+            new_row[end_index] = Date(Date.MAX_ORDINAL)
+            if row[begin_index].ordinal == now.ordinal:
+                # row became valid today: overwrite in place
+                for i, value in enumerate(new_row):
+                    row[i] = value
+            else:
+                row[end_index] = now
+                table.insert(new_row)
+        table.version += 1
+        self.db.stats.rows_written += len(matches)
+        return len(matches)
+
+    def _execute_current_delete(self, stmt: ast.Delete) -> int:
+        """TUC DELETE: terminate currently-valid rows at ``now``.
+
+        Rows that first became valid today are removed outright (they
+        were never visible), avoiding empty ``[now, now)`` periods.
+        """
+        info = self.registry.get(stmt.table)
+        table = self.db.catalog.get_table(stmt.table)
+        now = self.db.now
+        alias = stmt.alias or stmt.table
+        colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
+        begin_index = table.column_index(info.begin_column)
+        end_index = table.column_index(info.end_column)
+        executor = self.db.executor
+        env = Env()
+        from repro.sqlengine.values import truth
+
+        kept: list[list[Any]] = []
+        count = 0
+        for row in table.rows:
+            begin, end = row[begin_index], row[end_index]
+            current = begin.ordinal <= now.ordinal < end.ordinal
+            if current:
+                env.bindings[alias.lower()] = Binding(colmap, row)
+                matches = stmt.where is None or truth(
+                    executor.evaluate(stmt.where, env)
+                )
+            else:
+                matches = False
+            if not matches:
+                kept.append(row)
+                continue
+            count += 1
+            if begin.ordinal < now.ordinal:
+                row[end_index] = now
+                kept.append(row)
+            # else: row inserted today — drop it entirely
+        table.rows = kept
+        table.version += 1
+        self.db.stats.rows_written += count
+        return count
+
+    def _execute_nonsequenced(self, stmt: ast.Statement, dimension: str = "VALID") -> Any:
+        plain = clone(stmt)
+        plain.modifier = None
+        self._refresh_inner_cp_tables(stmt)
+        # nonsequenced exposes the named dimension's timestamps raw, but
+        # the *other* dimension keeps its current semantics on tables
+        # that carry it
+        if dimension == "VALID":
+            if analysis.reads_temporal(plain, self.db.catalog, self.tt_registry):
+                plain = self._apply_transaction_currency(plain)
+        else:
+            if analysis.reads_temporal(plain, self.db.catalog, self.registry):
+                result = transform_current(plain, self.db.catalog, self.registry)
+                self._install_routines(result.routines)
+                plain = result.statement
+        return self.db.execute_ast(plain)
+
+    # ------------------------------------------------------------------
+    # sequenced execution
+    # ------------------------------------------------------------------
+
+    def _resolve_context(
+        self,
+        stmt: ast.Statement,
+        modifier: ast.TemporalModifier,
+        registry: Optional[TemporalRegistry] = None,
+    ) -> Period:
+        registry = registry if registry is not None else self.registry
+        if modifier.begin is not None:
+            env = Env()
+            begin = self.db.executor.evaluate(modifier.begin, env)
+            end = self.db.executor.evaluate(modifier.end, env)
+            if not isinstance(begin, Date) or not isinstance(end, Date):
+                raise TemporalError("temporal context bounds must be DATEs")
+            return Period(begin.ordinal, end.ordinal)
+        # default: the span of the data, so cp stays finite
+        tables = analysis.reachable_temporal_tables(stmt, self.db.catalog, registry)
+        points: set[int] = set()
+        from repro.temporal.period import collect_change_points
+
+        for name in tables:
+            info = registry.get(name)
+            points |= collect_change_points(
+                [self.db.catalog.get_table(name)], info.begin_column, info.end_column
+            )
+        if not points:
+            return Period(Date.MIN_ORDINAL, Date.MAX_ORDINAL)
+        return Period(min(points), max(points))
+
+    def _check_sequenced_preconditions(self, stmt: ast.Statement) -> None:
+        self._reject_nonseq_only(stmt, "sequenced")
+
+    def _reject_nonseq_only(self, stmt: ast.Statement, flavor: str) -> None:
+        flagged = [
+            name
+            for name in analysis.reachable_routines(stmt, self.db.catalog)
+            if name in self._nonseq_only_routines
+        ]
+        if flagged:
+            raise SequencedContextError(
+                f"routine(s) {', '.join(sorted(flagged))} contain explicit"
+                f" temporal modifiers and may only be invoked from a"
+                f" nonsequenced context (attempted: {flavor})"
+            )
+
+    def _execute_sequenced(
+        self,
+        stmt: ast.Statement,
+        context: Period,
+        strategy: SlicingStrategy,
+        registry: Optional[TemporalRegistry] = None,
+    ) -> Union[TemporalResult, list[TemporalResult]]:
+        registry = registry if registry is not None else self.registry
+        self._check_sequenced_preconditions(stmt)
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            from repro.temporal.modifications import (
+                execute_sequenced_modification,
+            )
+
+            if registry is self.tt_registry:
+                raise TemporalError(
+                    "transaction time is system-maintained; sequenced"
+                    " TRANSACTIONTIME modifications are not meaningful"
+                )
+            plain = clone(stmt)
+            plain.modifier = None
+            return execute_sequenced_modification(
+                self.db, registry, plain, context
+            )
+        if strategy is SlicingStrategy.AUTO:
+            from repro.temporal.heuristic import choose_strategy
+
+            strategy = choose_strategy(
+                stmt, self.db, registry, context
+            ).strategy
+        elif strategy is SlicingStrategy.COST:
+            from repro.temporal.heuristic import estimate_costs, perst_applicable
+
+            applicable, _why = perst_applicable(stmt, self.db, registry)
+            if not applicable:
+                strategy = SlicingStrategy.MAX
+            else:
+                estimate = estimate_costs(stmt, self.db, registry, context)
+                strategy = (
+                    SlicingStrategy.PERST
+                    if estimate.prefers_perst
+                    else SlicingStrategy.MAX
+                )
+        self.last_strategy = strategy
+        if strategy is SlicingStrategy.MAX:
+            return self._execute_sequenced_max(stmt, context, registry)
+        return self._execute_sequenced_perst(stmt, context, registry)
+
+    # -- MAX ---------------------------------------------------------------
+
+    def _execute_sequenced_max(
+        self,
+        stmt: ast.Statement,
+        context: Period,
+        registry: Optional[TemporalRegistry] = None,
+    ) -> Union[TemporalResult, list[TemporalResult]]:
+        registry = registry if registry is not None else self.registry
+        result = transform_query_max(
+            stmt, self.db.catalog, registry, MAX_CP_TABLE
+        )
+        materialize_constant_periods(
+            self.db, result.temporal_tables, registry, context, MAX_CP_TABLE
+        )
+        self._install_routines(result.routines)
+        statement = self._apply_other_dimension_currency(
+            result.statement, registry
+        )
+        if isinstance(statement, ast.Select):
+            engine_result = self.db.execute_ast(statement)
+            return TemporalResult(engine_result.columns, engine_result.rows)
+        if isinstance(statement, ast.CallStatement):
+            return self._drive_max_call(statement, context)
+        raise TemporalError(
+            f"sequenced {type(stmt).__name__} unsupported under MAX"
+        )
+
+    def _apply_other_dimension_currency(
+        self, statement: ast.Statement, registry: TemporalRegistry
+    ) -> ast.Statement:
+        """After a sequenced transformation along one dimension, restrict
+        the other dimension to its current state on tables that carry it
+        (bitemporal composition, paper §III)."""
+        if registry is self.registry:
+            other = self.tt_registry
+            if analysis.reads_temporal(statement, self.db.catalog, other):
+                return self._apply_transaction_currency(statement)
+            return statement
+        other = self.registry
+        if analysis.reads_temporal(statement, self.db.catalog, other):
+            result = transform_current(statement, self.db.catalog, other)
+            self._install_routines(result.routines)
+            return result.statement
+        return statement
+
+    def _drive_max_call(
+        self, call_stmt: ast.CallStatement, context: Period
+    ) -> list[TemporalResult]:
+        """Invoke the max_ procedure once per constant period (§V).
+
+        Result sets from each invocation are stamped with the period.
+        """
+        cp = self.db.catalog.get_table(MAX_CP_TABLE)
+        stamped: list[TemporalResult] = []
+        for row in list(cp.rows):
+            begin, end = row[0], row[1]
+            per_period = clone(call_stmt)
+            per_period.args = per_period.args + [ast.Literal(value=begin)]
+            results = self.db.execute_ast(per_period)
+            for index, result in enumerate(results or []):
+                columns = result.columns + ["begin_time", "end_time"]
+                rows = [list(r) + [begin, end] for r in result.rows]
+                if index < len(stamped):
+                    stamped[index].rows.extend(rows)
+                else:
+                    stamped.append(TemporalResult(columns, rows))
+        return stamped
+
+    # -- PERST --------------------------------------------------------------
+
+    def _execute_sequenced_perst(
+        self,
+        stmt: ast.Statement,
+        context: Period,
+        registry: Optional[TemporalRegistry] = None,
+    ) -> Union[TemporalResult, list[TemporalResult]]:
+        registry = registry if registry is not None else self.registry
+        transformer = PerstTransformer(self.db.catalog, registry)
+        result = transformer.transform(stmt)
+        for cp_table, tables in result.cp_requirements.items():
+            materialize_constant_periods(
+                self.db, tables, registry, context, cp_table
+            )
+        self._install_routines(result.routines)
+        statement = clone(result.statement)
+        substitute_context(statement, context)
+        statement = self._apply_other_dimension_currency(statement, registry)
+        if isinstance(statement, ast.Select):
+            engine_result = self.db.execute_ast(statement)
+            return TemporalResult(engine_result.columns, engine_result.rows)
+        if isinstance(statement, ast.CallStatement):
+            results = self.db.execute_ast(statement) or []
+            return [TemporalResult(r.columns, r.rows) for r in results]
+        raise TemporalError(
+            f"sequenced {type(stmt).__name__} unsupported under PERST"
+        )
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _install_routines(self, definitions: list) -> None:
+        from repro.sqlengine.catalog import Routine
+
+        for definition in definitions:
+            key = definition.name.lower()
+            kind = (
+                "FUNCTION"
+                if isinstance(definition, ast.CreateFunction)
+                else "PROCEDURE"
+            )
+            self.db.catalog.add_routine(
+                Routine(kind=kind, definition=definition), replace=True
+            )
+            self._installed_clones.add(key)
+
+    def _prepare_inner_modifiers(
+        self, definition: Union[ast.CreateFunction, ast.CreateProcedure]
+    ):
+        """Rewrite explicit inner VALIDTIME statements (nonsequenced-only
+        routines) into conventional SQL via maximal slicing."""
+        new_def = clone(definition)
+        cp_table = f"taupsm_cp_nonseq_{definition.name.lower()}"
+
+        def rewrite_statements(statements: list[ast.Statement]) -> None:
+            for index, inner in enumerate(statements):
+                modifier = getattr(inner, "modifier", None)
+                if modifier is not None and modifier.flavor is ast.TemporalFlavor.SEQUENCED:
+                    if not isinstance(inner, ast.Select):
+                        raise TemporalError(
+                            "inner VALIDTIME is supported on SELECT"
+                            " statements only"
+                        )
+                    result = transform_query_max(
+                        inner, self.db.catalog, self.registry, cp_table
+                    )
+                    self._install_routines(result.routines)
+                    self._inner_cp_requirements[cp_table] = result.temporal_tables
+                    statements[index] = result.statement
+                elif modifier is not None:
+                    plain = clone(inner)
+                    plain.modifier = None
+                    statements[index] = plain
+                else:
+                    recurse(inner)
+
+        def recurse(node: ast.Statement) -> None:
+            if isinstance(node, ast.Compound):
+                rewrite_statements(node.statements)
+            elif isinstance(node, ast.IfStatement):
+                for _, body in node.branches:
+                    rewrite_statements(body)
+                if node.else_branch is not None:
+                    rewrite_statements(node.else_branch)
+            elif isinstance(node, ast.CaseStatement):
+                for _, body in node.whens:
+                    rewrite_statements(body)
+                if node.else_branch is not None:
+                    rewrite_statements(node.else_branch)
+            elif isinstance(
+                node,
+                (ast.WhileStatement, ast.RepeatStatement, ast.LoopStatement,
+                 ast.ForStatement),
+            ):
+                rewrite_statements(node.body)
+
+        recurse(new_def.body)
+        return new_def
+
+    def _refresh_inner_cp_tables(self, stmt: ast.Statement) -> None:
+        """Materialize cp tables needed by nonsequenced-only routines."""
+        if not self._inner_cp_requirements:
+            return
+        reachable = set(analysis.reachable_routines(stmt, self.db.catalog))
+        for cp_table, tables in self._inner_cp_requirements.items():
+            owner = cp_table.replace("taupsm_cp_nonseq_", "")
+            if owner in reachable or owner in {
+                r.lower() for r in reachable
+            }:
+                context = Period(Date.MIN_ORDINAL, Date.MAX_ORDINAL)
+                points: set[int] = set()
+                from repro.temporal.period import collect_change_points
+
+                for name in tables:
+                    info = self.registry.get(name)
+                    points |= collect_change_points(
+                        [self.db.catalog.get_table(name)],
+                        info.begin_column,
+                        info.end_column,
+                    )
+                if points:
+                    context = Period(min(points), max(points))
+                materialize_constant_periods(
+                    self.db, tables, self.registry, context, cp_table
+                )
+
+
+def substitute_context(stmt: ast.Statement, context: Period) -> None:
+    """Replace top-level ``ps_begin`` / ``ps_end`` names with literals."""
+
+    def rewriter(expr: ast.Expression):
+        if isinstance(expr, ast.Name) and expr.qualifier is None:
+            if expr.name.lower() == BEGIN_PARAM:
+                return ast.Literal(value=Date(context.begin))
+            if expr.name.lower() == END_PARAM:
+                return ast.Literal(value=Date(context.end))
+        return None
+
+    rewrite_expressions(stmt, rewriter)

@@ -1,0 +1,182 @@
+"""Correctness validation: commutativity checks (paper §VII-B).
+
+The paper validated its transformations by comparing, for each day, the
+timeslice of the sequenced result with the result of the nontemporal
+query run on that day's timeslice of the database ("commutativity"
+[23]), and by checking that MAX and PERST produce snapshot-equivalent
+results.  This module implements both checks on top of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.sqlengine.values import Date
+from repro.temporal.period import Period, coalesce
+from repro.temporal.stratum import SlicingStrategy, TemporalResult, TemporalStratum
+
+
+def reference_sequenced_result(
+    stratum: TemporalStratum,
+    conventional_sql: str,
+    context: Period,
+    sample_every: int = 1,
+) -> list[tuple[tuple, Period]]:
+    """Evaluate the *reference* sequenced semantics granule by granule.
+
+    For each granule in the context, set ``now`` to that granule and run
+    the conventional (current-semantics) statement on the timeslice;
+    stamp each result row with the granule; finally coalesce.  This is
+    the definitional semantics of §III — slow, used only for validation.
+
+    ``sample_every`` > 1 checks a subset of granules (each sampled
+    granule yields a one-day period, which coalescing cannot merge, so
+    callers must sample the compared result identically).
+    """
+    saved_now = stratum.db.now
+    rows: list[tuple[tuple, Period]] = []
+    try:
+        for granule in range(context.begin, context.end, sample_every):
+            stratum.db.now = Date(granule)
+            result = stratum.execute(conventional_sql)
+            for row in result.rows:
+                rows.append((tuple(row), Period(granule, granule + 1)))
+    finally:
+        stratum.db.now = saved_now
+    return coalesce(rows)
+
+
+def sample_temporal_result(
+    result: TemporalResult, context: Period, sample_every: int
+) -> list[tuple[tuple, Period]]:
+    """Slice a sequenced result at sampled granules, like the reference."""
+    rows: list[tuple[tuple, Period]] = []
+    for values, period in result.temporal_rows():
+        clipped = period.intersect(context)
+        if clipped is None:
+            continue
+        for granule in range(context.begin, context.end, sample_every):
+            if clipped.contains(granule):
+                rows.append((values, Period(granule, granule + 1)))
+    return coalesce(rows)
+
+
+def check_commutativity(
+    stratum: TemporalStratum,
+    sequenced_sql: str,
+    conventional_sql: str,
+    context: Period,
+    strategy: SlicingStrategy = SlicingStrategy.MAX,
+    sample_every: int = 1,
+) -> tuple[bool, str]:
+    """Compare a sequenced evaluation with the granule-wise reference.
+
+    Returns (ok, message).  ``sequenced_sql`` must carry the VALIDTIME
+    modifier; ``conventional_sql`` is the unmodified statement.
+    """
+    result = stratum.execute(sequenced_sql, strategy=strategy)
+    if not isinstance(result, TemporalResult):
+        return False, f"sequenced execution returned {type(result).__name__}"
+    measured = sample_temporal_result(result, context, sample_every)
+    reference = reference_sequenced_result(
+        stratum, conventional_sql, context, sample_every
+    )
+    if measured == reference:
+        return True, "commutativity holds"
+    return False, _diff_message(measured, reference)
+
+
+def check_strategy_equivalence(
+    stratum: TemporalStratum,
+    sequenced_sql: str,
+    context: Period,
+) -> tuple[bool, str]:
+    """MAX and PERST must produce snapshot-equivalent results.
+
+    Handles both SELECT statements (one TemporalResult) and CALL
+    statements (a list of stamped result sets, compared pooled).
+    """
+    max_result = stratum.execute(sequenced_sql, strategy=SlicingStrategy.MAX)
+    perst_result = stratum.execute(sequenced_sql, strategy=SlicingStrategy.PERST)
+    left = _pooled_coalesced(max_result, context)
+    right = _pooled_coalesced(perst_result, context)
+    if left == right:
+        return True, "strategies agree"
+    return False, _diff_message(left, right)
+
+
+def check_call_commutativity(
+    stratum: TemporalStratum,
+    sequenced_sql: str,
+    conventional_sql: str,
+    context: Period,
+    strategy: SlicingStrategy = SlicingStrategy.MAX,
+    sample_every: int = 1,
+) -> tuple[bool, str]:
+    """Commutativity for sequenced CALL statements.
+
+    Reference: run the conventional CALL at each sampled granule and pool
+    the rows of every returned result set, stamped with the granule.
+    """
+    results = stratum.execute(sequenced_sql, strategy=strategy)
+    if not isinstance(results, list):
+        return False, f"sequenced CALL returned {type(results).__name__}"
+    pooled: list[tuple[tuple, Period]] = []
+    for result in results:
+        pooled.extend(
+            sample_temporal_result(result, context, sample_every)
+        )
+    measured = coalesce(pooled)
+    saved_now = stratum.db.now
+    reference_rows: list[tuple[tuple, Period]] = []
+    try:
+        for granule in range(context.begin, context.end, sample_every):
+            stratum.db.now = Date(granule)
+            for result in stratum.execute(conventional_sql) or []:
+                for row in result.rows:
+                    reference_rows.append(
+                        (tuple(row), Period(granule, granule + 1))
+                    )
+    finally:
+        stratum.db.now = saved_now
+    reference = coalesce(reference_rows)
+    if measured == reference:
+        return True, "commutativity holds"
+    return False, _diff_message(measured, reference)
+
+
+def _pooled_coalesced(result, context: Period) -> list[tuple[tuple, Period]]:
+    if isinstance(result, list):
+        rows: list[tuple[tuple, Period]] = []
+        for one in result:
+            for values, period in one.temporal_rows():
+                clipped = period.intersect(context)
+                if clipped is not None:
+                    rows.append((values, clipped))
+        return coalesce(rows)
+    return _clip_coalesced(result, context)
+
+
+def _clip_coalesced(
+    result: TemporalResult, context: Period
+) -> list[tuple[tuple, Period]]:
+    rows = []
+    for values, period in result.temporal_rows():
+        clipped = period.intersect(context)
+        if clipped is not None:
+            rows.append((values, clipped))
+    return coalesce(rows)
+
+
+def _diff_message(
+    left: list[tuple[tuple, Period]], right: list[tuple[tuple, Period]]
+) -> str:
+    left_set = set(left)
+    right_set = set(right)
+    only_left = sorted(left_set - right_set, key=repr)[:5]
+    only_right = sorted(right_set - left_set, key=repr)[:5]
+    return (
+        f"results differ: {len(only_left)}+ only in first"
+        f" (e.g. {only_left}), {len(only_right)}+ only in second"
+        f" (e.g. {only_right})"
+    )

@@ -1,0 +1,48 @@
+"""§VII-B correctness: commutativity over the whole τPSM suite.
+
+For every query and both slicing strategies, the sequenced result
+timesliced at any granule must equal the conventional query evaluated on
+the database's timeslice at that granule — the paper's validation
+methodology, run on DS1-SMALL with a two-week context.
+"""
+
+import pytest
+
+from repro.taubench import ALL_QUERIES
+from repro.temporal import SlicingStrategy
+from repro.temporal.period import Period
+from repro.temporal.validate import (
+    check_call_commutativity,
+    check_commutativity,
+)
+
+BEGIN, END = "2010-02-10", "2010-02-24"
+CONTEXT = Period.from_iso(BEGIN, END)
+CALL_QUERIES = {"q9", "q11"}
+
+
+def _cases():
+    for query in ALL_QUERIES:
+        for strategy in (SlicingStrategy.MAX, SlicingStrategy.PERST):
+            if strategy is SlicingStrategy.PERST and not query.perst_applicable:
+                continue
+            yield pytest.param(query, strategy, id=f"{query.name}-{strategy.value}")
+
+
+@pytest.mark.parametrize("query,strategy", list(_cases()))
+def test_commutativity(query, strategy, small_dataset):
+    query.install(small_dataset)
+    sequenced = query.sequenced_sql(small_dataset, BEGIN, END)
+    conventional = query.conventional_sql(small_dataset)
+    checker = (
+        check_call_commutativity if query.name in CALL_QUERIES else check_commutativity
+    )
+    ok, message = checker(
+        small_dataset.stratum,
+        sequenced,
+        conventional,
+        CONTEXT,
+        strategy=strategy,
+        sample_every=2,
+    )
+    assert ok, f"{query.name} under {strategy.value}: {message}"

@@ -1,0 +1,47 @@
+"""§VII-B: maximal and per-statement slicing are snapshot-equivalent.
+
+Also checks the third leg of the paper's validation: the sequenced
+result equals the union of slices produced by the nontemporal variant
+(which is what commutativity samples; here we assert MAX ≡ PERST over a
+longer one-month context and on the hot-spot dataset DS2).
+"""
+
+import pytest
+
+from repro.taubench import ALL_QUERIES, build_dataset
+from repro.temporal.period import Period
+from repro.temporal.validate import check_strategy_equivalence
+
+BEGIN, END = "2010-02-01", "2010-03-01"
+CONTEXT = Period.from_iso(BEGIN, END)
+
+APPLICABLE = [q for q in ALL_QUERIES if q.perst_applicable]
+
+
+@pytest.mark.parametrize("query", APPLICABLE, ids=lambda q: q.name)
+def test_strategies_agree_ds1(query, small_dataset):
+    query.install(small_dataset)
+    sequenced = query.sequenced_sql(small_dataset, BEGIN, END)
+    ok, message = check_strategy_equivalence(
+        small_dataset.stratum, sequenced, CONTEXT
+    )
+    assert ok, f"{query.name}: {message}"
+
+
+@pytest.fixture(scope="module")
+def ds2_dataset():
+    return build_dataset("DS2", "SMALL")
+
+
+@pytest.mark.parametrize(
+    "query",
+    [q for q in APPLICABLE if q.name in ("q2", "q5", "q7", "q10", "q19")],
+    ids=lambda q: q.name,
+)
+def test_strategies_agree_on_hot_spot_data(query, ds2_dataset):
+    query.install(ds2_dataset)
+    sequenced = query.sequenced_sql(ds2_dataset, BEGIN, END)
+    ok, message = check_strategy_equivalence(
+        ds2_dataset.stratum, sequenced, CONTEXT
+    )
+    assert ok, f"{query.name} on DS2: {message}"

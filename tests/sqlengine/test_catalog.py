@@ -1,0 +1,97 @@
+"""Catalog unit tests."""
+
+import pytest
+
+from repro.sqlengine.catalog import Catalog, Routine
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.storage import Column, Table
+from repro.sqlengine.types import INTEGER
+
+
+def table(name="t"):
+    return Table(name, [Column("a", INTEGER)])
+
+
+def routine(name="f", kind="FUNCTION"):
+    if kind == "FUNCTION":
+        stmt = parse_statement(
+            f"CREATE FUNCTION {name} () RETURNS INTEGER LANGUAGE SQL RETURN 1"
+        )
+    else:
+        stmt = parse_statement(
+            f"CREATE PROCEDURE {name} () LANGUAGE SQL BEGIN SET x = 1; END"
+        )
+    return Routine(kind=kind, definition=stmt)
+
+
+class TestTables:
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(table("Foo"))
+        assert catalog.get_table("FOO").name == "Foo"
+        assert catalog.has_table("foo")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(table())
+        with pytest.raises(CatalogError):
+            catalog.add_table(table())
+
+    def test_replace_allowed(self):
+        catalog = Catalog()
+        catalog.add_table(table())
+        replacement = table()
+        catalog.add_table(replacement, replace=True)
+        assert catalog.get_table("t") is replacement
+
+    def test_table_view_namespace_shared(self):
+        catalog = Catalog()
+        catalog.add_table(table("x"))
+        with pytest.raises(CatalogError):
+            catalog.add_view("x", parse_statement("SELECT 1"))
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("ghost")
+
+
+class TestRoutines:
+    def test_add_get(self):
+        catalog = Catalog()
+        catalog.add_routine(routine("f"))
+        assert catalog.get_routine("F").kind == "FUNCTION"
+
+    def test_duplicate_routine_rejected(self):
+        catalog = Catalog()
+        catalog.add_routine(routine())
+        with pytest.raises(CatalogError):
+            catalog.add_routine(routine())
+
+    def test_replace_routine(self):
+        catalog = Catalog()
+        catalog.add_routine(routine())
+        catalog.add_routine(routine(), replace=True)
+
+    def test_routine_properties(self):
+        function = routine("f")
+        assert function.name == "f"
+        assert function.params == []
+        assert not function.is_table_function
+        procedure = routine("p", kind="PROCEDURE")
+        assert procedure.returns is None
+
+    def test_table_function_detection(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION g () RETURNS ROW(a INTEGER) ARRAY LANGUAGE SQL"
+            " BEGIN RETURN NULL; END"
+        )
+        assert Routine(kind="FUNCTION", definition=stmt).is_table_function
+
+    def test_drop_routine(self):
+        catalog = Catalog()
+        catalog.add_routine(routine())
+        catalog.drop_routine("f")
+        assert not catalog.has_routine("f")
+        with pytest.raises(CatalogError):
+            catalog.get_routine("f")

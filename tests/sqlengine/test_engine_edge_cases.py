@@ -1,0 +1,179 @@
+"""Engine edge cases: composition, nesting, coercion boundaries."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import CatalogError, RoutineError, SqlError
+from repro.sqlengine.values import Null
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b CHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    return db
+
+
+class TestViewComposition:
+    def test_view_over_view(self, db):
+        db.execute("CREATE VIEW v1 AS (SELECT a FROM t WHERE a > 1)")
+        db.execute("CREATE VIEW v2 AS (SELECT a FROM v1 WHERE a < 3)")
+        assert db.query("SELECT a FROM v2").rows == [[2]]
+
+    def test_view_joined_with_table(self, db):
+        db.execute("CREATE VIEW v AS (SELECT a AS k FROM t)")
+        result = db.query("SELECT t.b FROM t, v WHERE t.a = v.k ORDER BY t.b")
+        assert len(result) == 3
+
+    def test_view_inside_routine(self, db):
+        db.execute("CREATE VIEW v AS (SELECT MAX(a) AS m FROM t)")
+        db.execute(
+            "CREATE FUNCTION peak () RETURNS INTEGER READS SQL DATA"
+            " LANGUAGE SQL BEGIN RETURN (SELECT m FROM v); END"
+        )
+        assert db.query("SELECT peak()").scalar() == 3
+
+
+class TestNestedTableFunctions:
+    def test_table_function_composed_with_scalar_function(self, db):
+        db.execute(
+            "CREATE FUNCTION double_it (x INTEGER) RETURNS INTEGER"
+            " LANGUAGE SQL BEGIN RETURN x * 2; END"
+        )
+        db.execute("""
+        CREATE FUNCTION doubled () RETURNS ROW(n INTEGER) ARRAY
+        READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE res ROW(n INTEGER) ARRAY;
+          INSERT INTO TABLE res (SELECT double_it(a) FROM t);
+          RETURN res;
+        END
+        """)
+        result = db.query("SELECT f.n FROM TABLE(doubled()) AS f ORDER BY f.n")
+        assert [r[0] for r in result.rows] == [2, 4, 6]
+
+    def test_two_table_functions_joined(self, db):
+        db.execute("""
+        CREATE FUNCTION small () RETURNS ROW(n INTEGER) ARRAY
+        READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE res ROW(n INTEGER) ARRAY;
+          INSERT INTO TABLE res (SELECT a FROM t WHERE a < 3);
+          RETURN res;
+        END
+        """)
+        result = db.query(
+            "SELECT x.n, y.n FROM TABLE(small()) AS x, TABLE(small()) AS y"
+            " WHERE x.n < y.n"
+        )
+        assert result.rows == [[1, 2]]
+
+
+class TestScoping:
+    def test_parameter_shadowed_by_column(self, db):
+        # a column named like the parameter wins inside queries
+        db.execute(
+            "CREATE FUNCTION probe (a INTEGER) RETURNS INTEGER READS SQL DATA"
+            " LANGUAGE SQL BEGIN"
+            " RETURN (SELECT COUNT(*) FROM t WHERE a = a); END"
+        )
+        # t.a = t.a is true for all 3 rows (column shadows parameter)
+        assert db.query("SELECT probe(1)").scalar() == 3
+
+    def test_qualified_column_beats_variable(self, db):
+        db.execute(
+            "CREATE FUNCTION probe (x INTEGER) RETURNS INTEGER READS SQL DATA"
+            " LANGUAGE SQL BEGIN"
+            " RETURN (SELECT COUNT(*) FROM t WHERE t.a > x); END"
+        )
+        assert db.query("SELECT probe(1)").scalar() == 2
+
+    def test_routine_frames_are_isolated(self, db):
+        db.execute(
+            "CREATE FUNCTION inner_fn () RETURNS INTEGER LANGUAGE SQL BEGIN"
+            " DECLARE v INTEGER DEFAULT 5; RETURN v; END"
+        )
+        db.execute(
+            "CREATE FUNCTION outer_fn () RETURNS INTEGER LANGUAGE SQL BEGIN"
+            " DECLARE v INTEGER DEFAULT 1;"
+            " RETURN v + inner_fn(); END"
+        )
+        assert db.query("SELECT outer_fn()").scalar() == 6
+
+    def test_unknown_variable_raises(self, db):
+        db.execute(
+            "CREATE FUNCTION bad () RETURNS INTEGER LANGUAGE SQL BEGIN"
+            " SET ghost = 1; RETURN 0; END"
+        )
+        with pytest.raises(RoutineError):
+            db.query("SELECT bad()")
+
+
+class TestCoercionBoundaries:
+    def test_update_coerces_to_column_type(self, db):
+        db.execute("UPDATE t SET a = '42' WHERE b = 'x'")
+        assert db.query("SELECT a FROM t WHERE b = 'x'").scalar() == 42
+
+    def test_insert_select_coerces(self, db):
+        db.execute("CREATE TABLE u (a CHAR(5))")
+        db.execute("INSERT INTO u SELECT a FROM t WHERE a = 1")
+        assert db.query("SELECT a FROM u").scalar() == "1"
+
+    def test_fetch_coerces_to_variable_type(self, db):
+        db.execute("""
+        CREATE FUNCTION first_b () RETURNS CHAR(10) READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE s CHAR(10);
+          DECLARE done INTEGER DEFAULT 0;
+          DECLARE c CURSOR FOR SELECT a FROM t ORDER BY a;
+          DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+          OPEN c;
+          FETCH c INTO s;
+          CLOSE c;
+          RETURN s;
+        END
+        """)
+        assert db.query("SELECT first_b()").scalar() == "1"
+
+
+class TestStatsAccounting:
+    def test_statement_counter_monotone(self, db):
+        before = db.stats.statements
+        db.query("SELECT 1")
+        assert db.stats.statements > before
+
+    def test_reset(self, db):
+        db.query("SELECT 1")
+        db.stats.reset()
+        assert db.stats.statements == 0
+        assert db.stats.routine_calls == {}
+
+    def test_snapshot_is_a_copy(self, db):
+        snapshot = db.stats.snapshot()
+        db.query("SELECT 1")
+        assert snapshot["statements"] < db.stats.statements
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_table_scan(self, db):
+        db.execute("CREATE TABLE empty_t (x INTEGER)")
+        assert db.query("SELECT x FROM empty_t").rows == []
+        assert db.query("SELECT COUNT(*) FROM empty_t").scalar() == 0
+
+    def test_cross_product_with_empty_is_empty(self, db):
+        db.execute("CREATE TABLE empty_t (x INTEGER)")
+        assert db.query("SELECT 1 FROM t, empty_t").rows == []
+
+    def test_in_empty_list_via_subquery(self, db):
+        assert db.query(
+            "SELECT COUNT(*) FROM t WHERE a IN (SELECT a FROM t WHERE a > 99)"
+        ).scalar() == 0
+
+    def test_not_in_empty_subquery_keeps_all(self, db):
+        assert db.query(
+            "SELECT COUNT(*) FROM t WHERE a NOT IN (SELECT a FROM t WHERE a > 99)"
+        ).scalar() == 3
+
+    def test_select_null_literal(self, db):
+        assert db.query("SELECT NULL").scalar() is Null

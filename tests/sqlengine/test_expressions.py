@@ -1,0 +1,161 @@
+"""Expression-evaluation tests, driven through FROM-less SELECTs."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import CatalogError, DivisionByZeroError, TypeError_
+from repro.sqlengine.values import Date, Null
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def val(db, expr):
+    return db.query(f"SELECT {expr}").scalar()
+
+
+class TestArithmetic:
+    def test_basics(self, db):
+        assert val(db, "2 + 3 * 4") == 14
+        assert val(db, "(2 + 3) * 4") == 20
+        assert val(db, "10 - 4 - 3") == 3
+        assert val(db, "2.5 * 2") == 5.0
+
+    def test_integer_division_truncates_toward_zero(self, db):
+        assert val(db, "7 / 2") == 3
+        assert val(db, "-7 / 2") == -3
+
+    def test_float_division(self, db):
+        assert val(db, "7.0 / 2") == 3.5
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(DivisionByZeroError):
+            val(db, "1 / 0")
+
+    def test_unary_minus(self, db):
+        assert val(db, "-(2 + 3)") == -5
+
+    def test_null_propagates_through_arithmetic(self, db):
+        assert val(db, "1 + NULL") is Null
+        assert val(db, "NULL * 2") is Null
+
+    def test_negate_string_raises(self, db):
+        with pytest.raises(TypeError_):
+            val(db, "-'abc'")
+
+
+class TestStringOps:
+    def test_concat(self, db):
+        assert val(db, "'foo' || 'bar'") == "foobar"
+
+    def test_concat_number(self, db):
+        assert val(db, "'n=' || 5") == "n=5"
+
+    def test_concat_null(self, db):
+        assert val(db, "'x' || NULL") is Null
+
+    def test_like(self, db):
+        assert val(db, "CASE WHEN 'hello' LIKE 'h%o' THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 'hello' LIKE 'h_llo' THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 'hello' LIKE 'h_o' THEN 1 ELSE 0 END") == 0
+
+    def test_like_escapes_regex_chars(self, db):
+        assert val(db, "CASE WHEN 'a.b' LIKE 'a.b' THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 'axb' LIKE 'a.b' THEN 1 ELSE 0 END") == 0
+
+
+class TestPredicates:
+    def test_comparisons(self, db):
+        assert val(db, "CASE WHEN 1 < 2 THEN 'y' ELSE 'n' END") == "y"
+        assert val(db, "CASE WHEN 'a' >= 'b' THEN 'y' ELSE 'n' END") == "n"
+
+    def test_between(self, db):
+        assert val(db, "CASE WHEN 5 BETWEEN 1 AND 10 THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 0 BETWEEN 1 AND 10 THEN 1 ELSE 0 END") == 0
+
+    def test_not_between(self, db):
+        assert val(db, "CASE WHEN 0 NOT BETWEEN 1 AND 10 THEN 1 ELSE 0 END") == 1
+
+    def test_in_list(self, db):
+        assert val(db, "CASE WHEN 2 IN (1, 2, 3) THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 9 IN (1, 2, 3) THEN 1 ELSE 0 END") == 0
+
+    def test_in_with_null_candidate_is_unknown(self, db):
+        # 9 IN (1, NULL) is UNKNOWN, so neither branch on truth
+        assert val(db, "CASE WHEN 9 IN (1, NULL) THEN 1 ELSE 0 END") == 0
+        assert val(db, "CASE WHEN NOT 9 IN (1, NULL) THEN 1 ELSE 0 END") == 0
+
+    def test_is_null(self, db):
+        assert val(db, "CASE WHEN NULL IS NULL THEN 1 ELSE 0 END") == 1
+        assert val(db, "CASE WHEN 1 IS NOT NULL THEN 1 ELSE 0 END") == 1
+
+
+class TestCase:
+    def test_searched_case_first_match_wins(self, db):
+        assert val(db, "CASE WHEN 1 = 1 THEN 'a' WHEN 2 = 2 THEN 'b' END") == "a"
+
+    def test_simple_case(self, db):
+        assert val(db, "CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+
+    def test_case_no_match_no_else_is_null(self, db):
+        assert val(db, "CASE WHEN 1 = 2 THEN 'x' END") is Null
+
+
+class TestBuiltins:
+    def test_upper_lower(self, db):
+        assert val(db, "UPPER('abc')") == "ABC"
+        assert val(db, "LOWER('ABC')") == "abc"
+
+    def test_length(self, db):
+        assert val(db, "LENGTH('hello')") == 5
+
+    def test_substring(self, db):
+        assert val(db, "SUBSTRING('hello', 2, 3)") == "ell"
+        assert val(db, "SUBSTRING('hello', 3)") == "llo"
+
+    def test_trim(self, db):
+        assert val(db, "TRIM('  x  ')") == "x"
+
+    def test_abs_mod(self, db):
+        assert val(db, "ABS(-4)") == 4
+        assert val(db, "MOD(7, 3)") == 1
+
+    def test_mod_by_zero_raises(self, db):
+        with pytest.raises(DivisionByZeroError):
+            val(db, "MOD(1, 0)")
+
+    def test_coalesce(self, db):
+        assert val(db, "COALESCE(NULL, NULL, 3)") == 3
+        assert val(db, "COALESCE(NULL, NULL)") is Null
+
+    def test_nullif(self, db):
+        assert val(db, "NULLIF(1, 1)") is Null
+        assert val(db, "NULLIF(1, 2)") == 1
+
+    def test_first_last_instance(self, db):
+        """Paper Fig. 4: the earlier / later of two times."""
+        early = "DATE '2010-01-01'"
+        late = "DATE '2010-06-01'"
+        assert val(db, f"FIRST_INSTANCE({early}, {late})") == Date.from_iso("2010-01-01")
+        assert val(db, f"LAST_INSTANCE({early}, {late})") == Date.from_iso("2010-06-01")
+
+    def test_first_last_instance_null(self, db):
+        assert val(db, "FIRST_INSTANCE(NULL, DATE '2010-01-01')") is Null
+
+    def test_year_days_date(self, db):
+        assert val(db, "YEAR(DATE '2010-06-01')") == 2010
+        assert val(db, "DATE(DAYS(DATE '2010-06-01'))") == Date.from_iso("2010-06-01")
+
+    def test_current_date_is_settable(self, db):
+        db.now = Date.from_ymd(2010, 7, 4)
+        assert val(db, "CURRENT_DATE") == Date.from_ymd(2010, 7, 4)
+
+    def test_cast(self, db):
+        assert val(db, "CAST('42' AS INTEGER)") == 42
+        assert val(db, "CAST(42 AS CHAR(5))") == "42"
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(CatalogError):
+            val(db, "no_such_function(1)")

@@ -1,0 +1,87 @@
+"""Built-in function module tests (direct API level)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sqlengine import functions as fn
+from repro.sqlengine.values import Date, Null
+
+
+class TestRegistry:
+    def test_aggregates_recognised(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX", "count"):
+            assert fn.is_aggregate(name)
+
+    def test_scalar_builtins_recognised(self):
+        for name in ("UPPER", "COALESCE", "FIRST_INSTANCE", "LAST_INSTANCE"):
+            assert fn.is_scalar_builtin(name)
+
+    def test_unknown_not_recognised(self):
+        assert not fn.is_aggregate("UPPER")
+        assert not fn.is_scalar_builtin("SUM")
+
+
+class TestAggregates:
+    def test_count_star_counts_everything(self):
+        assert fn.evaluate_aggregate("COUNT", [1, Null, 3], star=True) == 3
+
+    def test_count_skips_nulls(self):
+        assert fn.evaluate_aggregate("COUNT", [1, Null, 3]) == 2
+
+    def test_sum_of_empty_is_null(self):
+        assert fn.evaluate_aggregate("SUM", []) is Null
+        assert fn.evaluate_aggregate("SUM", [Null, Null]) is Null
+
+    def test_avg(self):
+        assert fn.evaluate_aggregate("AVG", [2, 4, Null]) == 3
+
+    def test_min_max_on_dates(self):
+        dates = [Date.from_iso("2010-06-01"), Date.from_iso("2010-01-01")]
+        assert fn.evaluate_aggregate("MIN", dates) == Date.from_iso("2010-01-01")
+        assert fn.evaluate_aggregate("MAX", dates) == Date.from_iso("2010-06-01")
+
+    def test_distinct_sum(self):
+        assert fn.evaluate_aggregate("SUM", [1, 1, 2], distinct=True) == 3
+
+    def test_min_max_strings(self):
+        assert fn.evaluate_aggregate("MIN", ["b", "a"]) == "a"
+        assert fn.evaluate_aggregate("MAX", ["b", "a"]) == "b"
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_sum_matches_python(self, xs):
+        assert fn.evaluate_aggregate("SUM", xs) == sum(xs)
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_min_max_match_python(self, xs):
+        assert fn.evaluate_aggregate("MIN", xs) == min(xs)
+        assert fn.evaluate_aggregate("MAX", xs) == max(xs)
+
+
+class TestInstanceFunctions:
+    """FIRST_INSTANCE / LAST_INSTANCE (paper Fig. 4)."""
+
+    def test_first_is_earlier(self):
+        a, b = Date.from_iso("2010-01-01"), Date.from_iso("2010-06-01")
+        assert fn.call_scalar_builtin("FIRST_INSTANCE", [a, b]) is a
+        assert fn.call_scalar_builtin("FIRST_INSTANCE", [b, a]) is a
+
+    def test_last_is_later(self):
+        a, b = Date.from_iso("2010-01-01"), Date.from_iso("2010-06-01")
+        assert fn.call_scalar_builtin("LAST_INSTANCE", [a, b]) is b
+
+    def test_equal_inputs(self):
+        a = Date.from_iso("2010-01-01")
+        assert fn.call_scalar_builtin("FIRST_INSTANCE", [a, a]) is a
+
+    @given(st.integers(min_value=1, max_value=3_000_000),
+           st.integers(min_value=1, max_value=3_000_000))
+    def test_instance_functions_bound_interval(self, x, y):
+        a, b = Date(x), Date(y)
+        first = fn.call_scalar_builtin("FIRST_INSTANCE", [a, b])
+        last = fn.call_scalar_builtin("LAST_INSTANCE", [a, b])
+        assert first.ordinal == min(x, y)
+        assert last.ordinal == max(x, y)
+
+    def test_works_on_numbers_too(self):
+        assert fn.call_scalar_builtin("LEAST", [3, 1]) == 1
+        assert fn.call_scalar_builtin("GREATEST", [3, 1]) == 3

@@ -1,0 +1,148 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.sqlengine.errors import LexError
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import TokenKind
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_are_case_insensitive():
+    assert values("select SELECT SeLeCt") == ["SELECT"] * 3
+
+
+def test_identifier_preserves_case():
+    assert values("myTable") == ["myTable"]
+    assert kinds("myTable") == [TokenKind.IDENT]
+
+
+def test_identifier_with_underscore_and_digits():
+    assert values("begin_time t2 _x") == ["begin_time", "t2", "_x"]
+
+
+def test_integer_literal():
+    tokens = tokenize("42")
+    assert tokens[0].kind is TokenKind.NUMBER
+    assert tokens[0].value == "42"
+
+
+def test_decimal_literal():
+    assert values("3.14") == ["3.14"]
+
+
+def test_scientific_notation():
+    assert values("1e5 2.5E-3") == ["1e5", "2.5E-3"]
+
+
+def test_string_literal():
+    tokens = tokenize("'hello'")
+    assert tokens[0].kind is TokenKind.STRING
+    assert tokens[0].value == "hello"
+
+
+def test_string_with_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+
+
+def test_empty_string_literal():
+    assert tokenize("''")[0].value == ""
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_line_comment_is_skipped():
+    assert values("SELECT -- comment here\n 1") == ["SELECT", "1"]
+
+
+def test_block_comment_is_skipped():
+    assert values("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_two_char_operators():
+    assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+
+def test_single_char_operators():
+    assert values("= < > + - * /") == ["=", "<", ">", "+", "-", "*", "/"]
+
+
+def test_punctuation():
+    assert values("( ) , ; . [ ]") == ["(", ")", ",", ";", ".", "[", "]"]
+
+
+def test_label_colon():
+    assert values("lp: WHILE") == ["lp", ":", "WHILE"]
+
+
+def test_delimited_identifier():
+    tokens = tokenize('"Select"')
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].value == "Select"
+
+
+def test_unterminated_delimited_identifier_raises():
+    with pytest.raises(LexError):
+        tokenize('"open')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("SELECT @")
+
+
+def test_line_numbers_advance():
+    tokens = tokenize("SELECT\n\n1")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 3
+
+
+def test_full_statement_token_stream():
+    sql = "SELECT i.title FROM item i WHERE i.price >= 10.5"
+    assert values(sql) == [
+        "SELECT", "i", ".", "title", "FROM", "item", "i", "WHERE",
+        "i", ".", "price", ">=", "10.5",
+    ]
+
+
+def test_validtime_is_a_keyword():
+    tokens = tokenize("VALIDTIME NONSEQUENCED")
+    assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+
+def test_temporal_bracket_syntax_lexes():
+    sql = "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+    assert "[" in values(sql) and "]" in values(sql)
+
+
+def test_is_keyword_helper():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("SELECT", "INSERT")
+    assert not token.is_keyword("INSERT")
+
+
+def test_number_then_dot_identifier():
+    # "1.e" should not absorb the identifier
+    assert values("x.y") == ["x", ".", "y"]

@@ -1,0 +1,132 @@
+"""Tests for the extended builtin set and RIGHT JOIN."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.values import Date, Null
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def val(db, expr):
+    return db.query(f"SELECT {expr}").scalar()
+
+
+class TestNumericBuiltins:
+    def test_round(self, db):
+        assert val(db, "ROUND(2.567, 2)") == 2.57
+        assert val(db, "ROUND(2.4)") == 2
+        assert isinstance(val(db, "ROUND(2.6)"), int)
+
+    def test_floor_ceiling(self, db):
+        assert val(db, "FLOOR(2.9)") == 2
+        assert val(db, "CEILING(2.1)") == 3
+        assert val(db, "CEIL(-2.1)") == -2
+
+    def test_sign(self, db):
+        assert val(db, "SIGN(-7)") == -1
+        assert val(db, "SIGN(0)") == 0
+        assert val(db, "SIGN(3.5)") == 1
+
+    def test_power_sqrt(self, db):
+        assert val(db, "POWER(2, 10)") == 1024
+        assert val(db, "SQRT(16)") == 4.0
+
+    def test_sqrt_negative_raises(self, db):
+        with pytest.raises(ExecutionError):
+            val(db, "SQRT(-1)")
+
+    def test_null_propagation(self, db):
+        for expr in ("ROUND(NULL)", "FLOOR(NULL)", "SIGN(NULL)", "SQRT(NULL)"):
+            assert val(db, expr) is Null
+
+
+class TestStringBuiltins:
+    def test_position(self, db):
+        assert val(db, "POSITION('lo', 'hello')") == 4
+        assert val(db, "POSITION('xx', 'hello')") == 0
+
+    def test_replace(self, db):
+        assert val(db, "REPLACE('banana', 'na', 'NA')") == "baNANA"
+
+    def test_left_right(self, db):
+        assert val(db, "LEFT('hello', 2)") == "he"
+        assert val(db, "RIGHT('hello', 3)") == "llo"
+        assert val(db, "LEFT('hello', 0)") == ""
+        assert val(db, "RIGHT('hello', 0)") == ""
+
+    def test_left_in_where_clause(self, db):
+        db.execute("CREATE TABLE t (s CHAR(10))")
+        db.execute("INSERT INTO t VALUES ('apple'), ('apricot'), ('banana')")
+        result = db.query("SELECT s FROM t WHERE LEFT(s, 2) = 'ap' ORDER BY s")
+        assert [r[0] for r in result.rows] == ["apple", "apricot"]
+
+
+class TestDateBuiltins:
+    def test_month_day(self, db):
+        assert val(db, "MONTH(DATE '2010-06-15')") == 6
+        assert val(db, "DAY(DATE '2010-06-15')") == 15
+
+    def test_year_month_day_null(self, db):
+        assert val(db, "MONTH(NULL)") is Null
+
+
+class TestRightJoin:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE emp (name CHAR(10), dept CHAR(10))")
+        db.execute("CREATE TABLE dept (code CHAR(10), city CHAR(10))")
+        db.execute("INSERT INTO emp VALUES ('ann', 'eng')")
+        db.execute("INSERT INTO dept VALUES ('eng', 'tucson')")
+        db.execute("INSERT INTO dept VALUES ('hr', 'boston')")
+        return db
+
+    def test_right_join_null_extends_left(self, db):
+        result = db.query(
+            "SELECT e.name, d.code FROM emp e RIGHT JOIN dept d"
+            " ON e.dept = d.code ORDER BY d.code"
+        )
+        assert result.rows == [["ann", "eng"], [Null, "hr"]]
+
+    def test_right_outer_join_spelling(self, db):
+        result = db.query(
+            "SELECT d.code FROM emp e RIGHT OUTER JOIN dept d"
+            " ON e.dept = d.code"
+        )
+        assert len(result) == 2
+
+    def test_right_join_equals_swapped_left_join(self, db):
+        right = db.query(
+            "SELECT e.name, d.code FROM emp e RIGHT JOIN dept d"
+            " ON e.dept = d.code ORDER BY d.code"
+        )
+        left = db.query(
+            "SELECT e.name, d.code FROM dept d LEFT JOIN emp e"
+            " ON e.dept = d.code ORDER BY d.code"
+        )
+        assert right.rows == left.rows
+
+    def test_right_join_renders(self, db):
+        from repro.sqlengine.parser import parse_statement
+
+        sql = "SELECT 1 FROM a RIGHT JOIN b ON a.x = b.x"
+        assert "RIGHT JOIN" in parse_statement(sql).to_sql()
+
+
+class TestTemporalRightJoin:
+    def test_current_semantics_preserves_null_extension(self):
+        from tests.conftest import make_bookstore
+
+        stratum = make_bookstore()
+        stratum.db.now = Date.from_ymd(2010, 4, 1)
+        stratum.db.execute("DELETE FROM item_author WHERE item_id = 'i2'")
+        result = stratum.execute(
+            "SELECT ia.author_id, i.title FROM item_author ia"
+            " RIGHT JOIN item i ON i.id = ia.item_id ORDER BY i.title"
+        )
+        assert result.rows == [["a1", "Book One"], [Null, "Book Two"]]

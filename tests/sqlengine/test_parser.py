@@ -1,0 +1,445 @@
+"""Parser unit tests: statements, expressions, PSM bodies."""
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import ParseError
+from repro.sqlengine.parser import parse_expression, parse_script, parse_statement
+from repro.sqlengine.values import Date, Null
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr.name == "a"
+        assert stmt.from_items[0].name == "t"
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.items[0].is_star
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].star_qualifier == "t"
+
+    def test_select_with_alias(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_table_alias_forms(self):
+        stmt = parse_statement("SELECT 1 FROM t AS x, u y")
+        assert stmt.from_items[0].alias == "x"
+        assert stmt.from_items[1].alias == "y"
+
+    def test_where_group_having_order(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a"
+            " HAVING COUNT(*) > 2 ORDER BY a DESC"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+
+    def test_limit(self):
+        assert parse_statement("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_join_on(self):
+        stmt = parse_statement("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT 1 FROM a CROSS JOIN b")
+        assert stmt.from_items[0].kind == "CROSS"
+        assert stmt.from_items[0].condition is None
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement("SELECT 1 FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.from_items[0], ast.SubqueryRef)
+        assert stmt.from_items[0].alias == "s"
+
+    def test_table_function_in_from(self):
+        stmt = parse_statement("SELECT 1 FROM TABLE(f(1, 'x')) AS g")
+        ref = stmt.from_items[0]
+        assert isinstance(ref, ast.TableFunctionRef)
+        assert ref.call.name == "f"
+        assert ref.alias == "g"
+
+    def test_union_chain(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+        assert stmt.set_op == "UNION"
+        assert stmt.set_rhs.set_op == "UNION ALL"
+
+    def test_order_by_position(self):
+        stmt = parse_statement("SELECT a, b FROM t ORDER BY 2")
+        assert isinstance(stmt.order_by[0].expr, ast.Literal)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Parenthesized)
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_comparison_normalizes_bang_equals(self):
+        assert parse_expression("a != b").op == "<>"
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.BetweenPredicate)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InPredicate)
+        assert len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert expr.subquery is not None
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.ExistsPredicate)
+
+    def test_not_exists(self):
+        expr = parse_expression("NOT EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_like(self):
+        expr = parse_expression("a LIKE '%x%'")
+        assert isinstance(expr, ast.LikePredicate)
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        assert expr.operand is not None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INTEGER)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target.name == "INTEGER"
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '2010-06-01'")
+        assert expr.value == Date.from_iso("2010-06-01")
+
+    def test_null_true_false(self):
+        assert parse_expression("NULL").value is Null
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+
+    def test_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT a FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_function_call(self):
+        expr = parse_expression("f(1, a)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert len(expr.args) == 2
+
+    def test_count_star(self):
+        assert parse_expression("COUNT(*)").star
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT a)").distinct
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_current_date(self):
+        expr = parse_expression("CURRENT_DATE")
+        assert expr.name == "CURRENT_DATE"
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.values) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.select is not None
+
+    def test_insert_into_table_keyword(self):
+        stmt = parse_statement("INSERT INTO TABLE v (SELECT a FROM u)")
+        assert stmt.table == "v"
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER NOT NULL, b CHAR(10), c DATE,"
+            " PRIMARY KEY (a))"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].not_null
+        assert stmt.primary_key == ["a"]
+
+    def test_create_temporary_table_as(self):
+        stmt = parse_statement("CREATE TEMPORARY TABLE t AS (SELECT a FROM u)")
+        assert stmt.temporary
+        assert stmt.as_select is not None
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS (SELECT a FROM t)")
+        assert isinstance(stmt, ast.CreateView)
+
+    def test_drop_statements(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+        assert parse_statement("DROP FUNCTION f").kind == "FUNCTION"
+
+    def test_alter_add_validtime(self):
+        stmt = parse_statement("ALTER TABLE t ADD VALIDTIME")
+        assert isinstance(stmt, ast.AlterTable)
+
+    def test_type_variants(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a DECIMAL(8, 2), b VARCHAR(30), c DOUBLE PRECISION,"
+            " d BOOLEAN, e CHARACTER VARYING(5))"
+        )
+        assert stmt.columns[0].type.precision == 8
+        assert stmt.columns[4].type.name == "VARCHAR"
+
+
+class TestPsm:
+    def test_create_function(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f (x INTEGER) RETURNS INTEGER READS SQL DATA"
+            " LANGUAGE SQL BEGIN RETURN x + 1; END"
+        )
+        assert isinstance(stmt, ast.CreateFunction)
+        assert stmt.reads_sql_data
+        assert isinstance(stmt.body, ast.Compound)
+
+    def test_create_function_row_array(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f () RETURNS ROW(a INTEGER, b DATE) ARRAY"
+            " LANGUAGE SQL BEGIN RETURN NULL; END"
+        )
+        assert isinstance(stmt.returns, ast.RowArrayType)
+        assert stmt.returns.column_names == ["a", "b"]
+
+    def test_create_procedure_with_modes(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p (IN a INTEGER, OUT b INTEGER, INOUT c INTEGER)"
+            " LANGUAGE SQL BEGIN SET b = a; END"
+        )
+        modes = [param.mode for param in stmt.params]
+        assert modes == ["IN", "OUT", "INOUT"]
+
+    def test_declare_forms(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " DECLARE x, y INTEGER DEFAULT 0;"
+            " DECLARE c CURSOR FOR SELECT a FROM t;"
+            " DECLARE CONTINUE HANDLER FOR NOT FOUND SET x = 1;"
+            " SET y = 2; END"
+        )
+        declarations = stmt.body.declarations
+        assert isinstance(declarations[0], ast.DeclareVariable)
+        assert declarations[0].names == ["x", "y"]
+        assert isinstance(declarations[1], ast.DeclareCursor)
+        assert isinstance(declarations[2], ast.DeclareHandler)
+
+    def test_if_elseif_else(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p (a INTEGER) LANGUAGE SQL BEGIN"
+            " IF a = 1 THEN SET a = 2;"
+            " ELSEIF a = 2 THEN SET a = 3;"
+            " ELSE SET a = 4; END IF; END"
+        )
+        if_stmt = stmt.body.statements[0]
+        assert len(if_stmt.branches) == 2
+        assert if_stmt.else_branch is not None
+
+    def test_case_statement(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p (a INTEGER) LANGUAGE SQL BEGIN"
+            " CASE WHEN a < 1 THEN SET a = 1; ELSE SET a = 0; END CASE; END"
+        )
+        assert isinstance(stmt.body.statements[0], ast.CaseStatement)
+
+    def test_labeled_while_with_leave_iterate(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p (a INTEGER) LANGUAGE SQL BEGIN"
+            " w1: WHILE a < 10 DO"
+            " SET a = a + 1;"
+            " IF a = 5 THEN ITERATE w1; END IF;"
+            " IF a = 8 THEN LEAVE w1; END IF;"
+            " END WHILE w1; END"
+        )
+        loop = stmt.body.statements[0]
+        assert isinstance(loop, ast.WhileStatement)
+        assert loop.label == "w1"
+
+    def test_repeat_until(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p (a INTEGER) LANGUAGE SQL BEGIN"
+            " REPEAT SET a = a + 1; UNTIL a > 3 END REPEAT; END"
+        )
+        assert isinstance(stmt.body.statements[0], ast.RepeatStatement)
+
+    def test_for_loop_with_label(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " f1: FOR rec AS SELECT a FROM t DO SET x = rec.a; END FOR f1; END"
+        )
+        loop = stmt.body.statements[0]
+        assert isinstance(loop, ast.ForStatement)
+        assert loop.loop_var == "rec"
+        assert loop.label == "f1"
+
+    def test_for_loop_with_cursor_name(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " FOR rec AS cur CURSOR FOR SELECT a FROM t DO SET x = rec.a;"
+            " END FOR; END"
+        )
+        assert stmt.body.statements[0].cursor_name == "cur"
+
+    def test_loop_statement(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " l1: LOOP LEAVE l1; END LOOP l1; END"
+        )
+        assert isinstance(stmt.body.statements[0], ast.LoopStatement)
+
+    def test_cursor_statements(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " OPEN c; FETCH c INTO a, b; CLOSE c; END"
+        )
+        kinds = [type(s).__name__ for s in stmt.body.statements]
+        assert kinds == ["OpenCursor", "FetchCursor", "CloseCursor"]
+
+    def test_select_into(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " SELECT a, b INTO x, y FROM t WHERE c = 1; END"
+        )
+        into = stmt.body.statements[0]
+        assert isinstance(into, ast.SelectInto)
+        assert into.targets == ["x", "y"]
+
+    def test_row_set(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " SET (x, y) = (SELECT a, b FROM t); END"
+        )
+        assert stmt.body.statements[0].targets == ["x", "y"]
+
+    def test_call_statement(self):
+        stmt = parse_statement("CALL p(1, 'x')")
+        assert isinstance(stmt, ast.CallStatement)
+        assert len(stmt.args) == 2
+
+    def test_return_without_value(self):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN RETURN; END"
+        )
+        assert stmt.body.statements[0].value is None
+
+    def test_label_requires_loop(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "CREATE PROCEDURE p () LANGUAGE SQL BEGIN x: SET a = 1; END"
+            )
+
+
+class TestTemporalModifier:
+    def test_sequenced(self):
+        stmt = parse_statement("VALIDTIME SELECT a FROM t")
+        assert stmt.modifier.flavor is ast.TemporalFlavor.SEQUENCED
+        assert stmt.modifier.begin is None
+
+    def test_sequenced_with_context(self):
+        stmt = parse_statement(
+            "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01'] SELECT a FROM t"
+        )
+        assert stmt.modifier.begin.value == Date.from_iso("2010-01-01")
+
+    def test_nonsequenced(self):
+        stmt = parse_statement("NONSEQUENCED VALIDTIME SELECT a FROM t")
+        assert stmt.modifier.flavor is ast.TemporalFlavor.NONSEQUENCED
+
+    def test_modifier_on_call(self):
+        stmt = parse_statement("VALIDTIME CALL p(1)")
+        assert stmt.modifier is not None
+
+
+class TestScriptsAndErrors:
+    def test_parse_script(self):
+        statements = parse_script("SELECT 1; SELECT 2; SELECT 3")
+        assert len(statements) == 3
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_statement("SELECT 1;") is not None
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM t WHERE ORDER ORDER")
+
+    def test_missing_from_table_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM WHERE")
+
+    def test_unterminated_begin_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE PROCEDURE p () LANGUAGE SQL BEGIN SET a = 1;")

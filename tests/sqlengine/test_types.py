@@ -1,0 +1,105 @@
+"""Type system and coercion tests."""
+
+import pytest
+
+from repro.sqlengine import types as t
+from repro.sqlengine.errors import TypeError_
+from repro.sqlengine.values import Date, Null
+
+
+class TestTypePredicates:
+    def test_numeric(self):
+        assert t.INTEGER.is_numeric
+        assert t.decimal(8, 2).is_numeric
+        assert not t.varchar(5).is_numeric
+
+    def test_integer(self):
+        assert t.SqlType("SMALLINT").is_integer
+        assert not t.FLOAT.is_integer
+
+    def test_character(self):
+        assert t.char(10).is_character
+        assert t.varchar(10).is_character
+
+    def test_date_boolean(self):
+        assert t.DATE.is_date
+        assert t.BOOLEAN.is_boolean
+
+
+class TestRendering:
+    def test_char_with_length(self):
+        assert t.char(10).to_sql() == "CHAR(10)"
+
+    def test_decimal_with_scale(self):
+        assert t.decimal(8, 2).to_sql() == "DECIMAL(8, 2)"
+
+    def test_plain(self):
+        assert t.INTEGER.to_sql() == "INTEGER"
+
+
+class TestCoercion:
+    def test_null_passes_any_type(self):
+        assert t.coerce(Null, t.INTEGER) is Null
+        assert t.coerce(Null, t.char(3)) is Null
+
+    def test_int_to_integer(self):
+        assert t.coerce(5, t.INTEGER) == 5
+
+    def test_float_to_integer_integral(self):
+        assert t.coerce(5.0, t.INTEGER) == 5
+
+    def test_float_to_integer_fractional_raises(self):
+        with pytest.raises(TypeError_):
+            t.coerce(5.5, t.INTEGER)
+
+    def test_string_to_integer(self):
+        assert t.coerce(" 42 ", t.INTEGER) == 42
+
+    def test_bad_string_to_integer_raises(self):
+        with pytest.raises(TypeError_):
+            t.coerce("x", t.INTEGER)
+
+    def test_int_to_float(self):
+        assert t.coerce(2, t.FLOAT) == 2.0
+
+    def test_number_to_char(self):
+        assert t.coerce(42, t.varchar(10)) == "42"
+
+    def test_char_overflow_raises_on_data_loss(self):
+        with pytest.raises(TypeError_):
+            t.coerce("abcdef", t.char(3))
+
+    def test_char_trailing_blank_truncation_ok(self):
+        assert t.coerce("ab   ", t.char(3)) == "ab "
+
+    def test_string_to_date(self):
+        assert t.coerce("2010-06-01", t.DATE) == Date.from_iso("2010-06-01")
+
+    def test_date_passthrough(self):
+        d = Date.from_iso("2010-06-01")
+        assert t.coerce(d, t.DATE) is d
+
+    def test_int_to_date_raises(self):
+        with pytest.raises(TypeError_):
+            t.coerce(5, t.DATE)
+
+    def test_bool_coercions(self):
+        assert t.coerce(True, t.BOOLEAN) is True
+        with pytest.raises(TypeError_):
+            t.coerce("yes", t.BOOLEAN)
+
+    def test_bool_to_integer(self):
+        assert t.coerce(True, t.INTEGER) == 1
+
+    def test_date_to_char(self):
+        assert t.coerce(Date.from_iso("2010-06-01"), t.varchar(12)) == "2010-06-01"
+
+
+class TestInference:
+    def test_infer(self):
+        assert t.infer_type(5).name == "INTEGER"
+        assert t.infer_type(5.0).name == "FLOAT"
+        assert t.infer_type(True).name == "BOOLEAN"
+        assert t.infer_type("ab").name == "VARCHAR"
+        assert t.infer_type(Date.from_iso("2010-01-01")).name == "DATE"
+        assert t.infer_type(Null).name == "NULL"

@@ -1,0 +1,76 @@
+"""Dataset specification and loading tests."""
+
+import pytest
+
+from repro.taubench import schema
+from repro.taubench.datasets import build_dataset, dataset_spec
+
+
+class TestSpecs:
+    def test_ds1_weekly(self):
+        spec = dataset_spec("DS1", "SMALL")
+        assert spec.num_steps == 104
+        assert spec.step_days == 7
+        assert spec.distribution == "uniform"
+
+    def test_ds2_gaussian(self):
+        assert dataset_spec("DS2", "SMALL").distribution == "gaussian"
+
+    def test_ds3_daily_same_total_changes(self):
+        ds1 = dataset_spec("DS1", "SMALL")
+        ds3 = dataset_spec("DS3", "SMALL")
+        assert ds3.num_steps == 693
+        assert ds3.step_days == 1
+        assert ds3.total_changes == ds1.total_changes  # paper §VII-A1
+
+    def test_sizes_scale(self):
+        small = dataset_spec("DS1", "SMALL")
+        large = dataset_spec("DS1", "LARGE")
+        assert large.num_items == 10 * small.num_items
+        assert large.total_changes == 10 * small.total_changes
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError):
+            dataset_spec("DS9", "SMALL")
+        with pytest.raises(ValueError):
+            dataset_spec("DS1", "TINY")
+
+    def test_key_and_timeline(self):
+        spec = dataset_spec("DS1", "MEDIUM")
+        assert spec.key == "DS1.MEDIUM"
+        assert spec.timeline.duration >= 104 * 7
+
+
+class TestLoadedDataset:
+    def test_all_tables_present_and_temporal(self, small_dataset):
+        for table in schema.TABLE_NAMES:
+            assert small_dataset.stratum.registry.is_temporal(table)
+            assert len(small_dataset.stratum.db.catalog.get_table(table)) > 0
+
+    def test_probe_values_exist_currently(self, small_dataset):
+        stratum = small_dataset.stratum
+        result = stratum.execute(
+            "SELECT author_id FROM author"
+            f" WHERE author_id = '{small_dataset.probe_author_id}'"
+        )
+        assert len(result.rows) == 1
+
+    def test_cold_author_linked_to_cold_item(self, small_dataset):
+        stratum = small_dataset.stratum
+        result = stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT item_id FROM item_author"
+            f" WHERE item_id = '{small_dataset.cold_item_id}'"
+            f" AND author_id = '{small_dataset.cold_author_id}'"
+        )
+        assert len(result.rows) >= 1
+
+    def test_context_inside_timeline(self, small_dataset):
+        context = small_dataset.context(30)
+        assert small_dataset.timeline.contains_period(context)
+
+    def test_total_rows_counts_versions(self, small_dataset):
+        assert small_dataset.total_rows() > (
+            small_dataset.spec.num_items
+            + small_dataset.spec.num_authors
+            + small_dataset.spec.num_publishers
+        )

@@ -1,0 +1,76 @@
+"""Catalog generator tests."""
+
+from repro.taubench.generator import generate_catalog
+
+
+class TestDeterminism:
+    def test_same_seed_same_catalog(self):
+        a = generate_catalog(20, 15, 5, seed=42)
+        b = generate_catalog(20, 15, 5, seed=42)
+        assert a.items == b.items
+        assert a.authors == b.authors
+        assert a.item_author == b.item_author
+
+    def test_different_seed_differs(self):
+        a = generate_catalog(20, 15, 5, seed=1)
+        b = generate_catalog(20, 15, 5, seed=2)
+        assert a.items != b.items
+
+
+class TestCardinalities:
+    def test_requested_counts(self):
+        data = generate_catalog(20, 15, 5)
+        assert len(data.items) == 20
+        assert len(data.authors) == 15
+        assert len(data.publishers) == 5
+
+    def test_one_publisher_link_per_item(self):
+        data = generate_catalog(20, 15, 5)
+        assert len(data.item_publisher) == 20
+
+    def test_one_to_three_authors_per_item(self):
+        data = generate_catalog(30, 15, 5)
+        per_item = {}
+        for item_id, _ in data.item_author:
+            per_item[item_id] = per_item.get(item_id, 0) + 1
+        assert all(1 <= n <= 3 for n in per_item.values())
+        assert len(per_item) == 30
+
+    def test_related_items_reference_existing(self):
+        data = generate_catalog(30, 15, 5)
+        ids = {item[0] for item in data.items}
+        for item_id, related_id in data.related_items:
+            assert item_id in ids
+            assert related_id in ids
+            assert item_id != related_id
+
+
+class TestContent:
+    def test_ids_are_stable_format(self):
+        data = generate_catalog(5, 5, 2)
+        assert data.items[0][0] == "i0000000"
+        assert data.authors[0][0] == "a0000000"
+        assert data.publishers[0][0] == "p0000000"
+
+    def test_foreign_keys_resolve(self):
+        data = generate_catalog(20, 15, 5)
+        publishers = {p[0] for p in data.publishers}
+        authors = {a[0] for a in data.authors}
+        for item in data.items:
+            assert item[2] in publishers
+        for _, author_id in data.item_author:
+            assert author_id in authors
+
+    def test_prices_and_pages_in_range(self):
+        data = generate_catalog(20, 15, 5)
+        for item in data.items:
+            assert 80 <= item[4] <= 900
+            assert 5.0 <= item[5] <= 120.0
+
+    def test_table_rows_mapping(self):
+        data = generate_catalog(5, 5, 2)
+        rows = data.table_rows()
+        assert set(rows) == {
+            "publisher", "author", "item", "related_items",
+            "item_author", "item_publisher",
+        }

@@ -1,0 +1,113 @@
+"""Temporal change-simulation tests: version-chain invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine.values import Date
+from repro.taubench.generator import generate_catalog
+from repro.taubench.simulator import FOREVER, TIMELINE_BEGIN, simulate
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    catalog = generate_catalog(20, 15, 5, seed=42)
+    return simulate(catalog, num_steps=10, step_days=7, total_changes=60, seed=7)
+
+
+def chains(rows, key_index):
+    """Group version rows by entity key."""
+    by_key = {}
+    for row in rows:
+        by_key.setdefault(row[key_index], []).append(row)
+    return by_key
+
+
+class TestVersionChains:
+    def test_versions_per_item_partition_timeline(self, simulated):
+        for key, versions in chains(simulated["item"], 0).items():
+            versions.sort(key=lambda r: r[-2].ordinal)
+            assert versions[0][-2] == TIMELINE_BEGIN
+            assert versions[-1][-1] == FOREVER
+            for left, right in zip(versions, versions[1:]):
+                assert left[-1] == right[-2]  # meet exactly
+
+    def test_no_empty_periods(self, simulated):
+        for rows in simulated.values():
+            for row in rows:
+                assert row[-2].ordinal < row[-1].ordinal
+
+    def test_consecutive_versions_differ(self, simulated):
+        for key, versions in chains(simulated["item"], 0).items():
+            versions.sort(key=lambda r: r[-2].ordinal)
+            for left, right in zip(versions, versions[1:]):
+                assert left[:-2] != right[:-2]
+
+    def test_total_change_count(self, simulated):
+        extra_versions = sum(
+            len(rows) for rows in simulated.values()
+        ) - sum(
+            len({tuple([row[0], row[1]]) if name in
+                 ("related_items", "item_author", "item_publisher")
+                 else row[0] for row in rows})
+            for name, rows in simulated.items()
+        )
+        # every applied change adds exactly one version; the simulator
+        # aims for the requested total (it may fall slightly short when
+        # it cannot find a fresh victim, never over)
+        assert 0 < extra_versions <= 60
+
+
+class TestDistributions:
+    def test_deterministic(self):
+        catalog = generate_catalog(20, 15, 5, seed=42)
+        a = simulate(catalog, 10, 7, 60, seed=7)
+        b = simulate(catalog, 10, 7, 60, seed=7)
+        assert a == b
+
+    def test_gaussian_concentrates_on_hot_items(self):
+        catalog = generate_catalog(60, 30, 8, seed=42)
+        uniform = simulate(catalog, 20, 7, 300, distribution="uniform", seed=7)
+        gaussian = simulate(catalog, 20, 7, 300, distribution="gaussian", seed=7)
+
+        def change_counts(rows):
+            counts = {}
+            for row in rows:
+                counts[row[0]] = counts.get(row[0], 0) + 1
+            return counts
+
+        hot = f"i{30:07d}"  # centre of the Gaussian
+        cold = "i0000000"
+        g = change_counts(gaussian["item"])
+        u = change_counts(uniform["item"])
+        # the hot-spot item has more versions under Gaussian than the
+        # cold item does
+        assert g.get(hot, 0) > g.get(cold, 0)
+        # and the Gaussian run is more concentrated overall
+        assert max(g.values()) >= max(u.values())
+
+    def test_change_points_align_to_steps(self):
+        catalog = generate_catalog(20, 15, 5, seed=42)
+        result = simulate(catalog, 10, 7, 60, seed=7)
+        valid_points = {
+            TIMELINE_BEGIN.ordinal + (step + 1) * 7 for step in range(10)
+        } | {TIMELINE_BEGIN.ordinal, FOREVER.ordinal}
+        for rows in result.values():
+            for row in rows:
+                assert row[-2].ordinal in valid_points
+                assert row[-1].ordinal in valid_points
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        steps=st.integers(min_value=1, max_value=12),
+        changes=st.integers(min_value=0, max_value=40),
+    )
+    def test_chain_invariants_hold_for_any_parameters(self, steps, changes):
+        catalog = generate_catalog(10, 8, 3, seed=5)
+        result = simulate(catalog, steps, 7, changes, seed=3)
+        for rows in result.values():
+            for row in rows:
+                assert row[-2].ordinal < row[-1].ordinal
+        for key, versions in chains(result["author"], 0).items():
+            versions.sort(key=lambda r: r[-2].ordinal)
+            for left, right in zip(versions, versions[1:]):
+                assert left[-1] == right[-2]

@@ -1,0 +1,186 @@
+"""Static-analysis tests: reachability, inner modifiers, PERST checks."""
+
+import pytest
+
+from repro.sqlengine.parser import parse_statement
+from repro.temporal import analysis
+from repro.temporal.errors import PerStatementInapplicableError
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+
+@pytest.fixture
+def stratum():
+    s = make_bookstore()
+    s.register_routine(GET_AUTHOR_NAME)
+    return s
+
+
+class TestTableReferences:
+    def test_direct_tables(self, stratum):
+        stmt = parse_statement("SELECT 1 FROM item i, item_author ia")
+        assert analysis.referenced_tables(stmt) == {"item", "item_author"}
+
+    def test_subquery_tables_included(self, stratum):
+        stmt = parse_statement(
+            "SELECT 1 FROM item WHERE EXISTS (SELECT 1 FROM author)"
+        )
+        assert "author" in analysis.referenced_tables(stmt)
+
+    def test_dml_targets_included(self, stratum):
+        stmt = parse_statement("UPDATE item SET title = 'x'")
+        assert analysis.referenced_tables(stmt) == {"item"}
+
+    def test_reachable_through_function(self, stratum):
+        stmt = parse_statement(
+            "SELECT 1 FROM item_author ia WHERE get_author_name(ia.author_id) = 'Ben'"
+        )
+        tables = analysis.reachable_tables(stmt, stratum.db.catalog)
+        assert "author" in tables  # only referenced inside the function
+        assert "item_author" in tables
+
+    def test_reachable_routines_transitive(self, stratum):
+        stratum.register_routine(
+            "CREATE FUNCTION outer_fn (aid CHAR(10)) RETURNS CHAR(50)"
+            " READS SQL DATA LANGUAGE SQL BEGIN"
+            " RETURN get_author_name(aid); END"
+        )
+        stmt = parse_statement("SELECT outer_fn('a1')")
+        routines = analysis.reachable_routines(stmt, stratum.db.catalog)
+        assert routines == ["outer_fn", "get_author_name"]
+
+    def test_reads_temporal(self, stratum):
+        stmt = parse_statement("SELECT get_author_name('a1')")
+        assert analysis.reads_temporal(stmt, stratum.db.catalog, stratum.registry)
+
+    def test_non_temporal_statement(self, stratum):
+        stratum.db.execute("CREATE TABLE plain (x INTEGER)")
+        stmt = parse_statement("SELECT x FROM plain")
+        assert not analysis.reads_temporal(stmt, stratum.db.catalog, stratum.registry)
+
+    def test_routine_reads_temporal(self, stratum):
+        assert analysis.routine_reads_temporal(
+            "get_author_name", stratum.db.catalog, stratum.registry
+        )
+
+
+class TestInnerModifiers:
+    def test_detects_inner_modifier(self, stratum):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " VALIDTIME SELECT title FROM item; END"
+        )
+        assert analysis.has_inner_modifier(stmt.body)
+
+    def test_no_modifier(self, stratum):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " SELECT title FROM item; END"
+        )
+        assert not analysis.has_inner_modifier(stmt.body)
+
+
+def _install(stratum, sql):
+    stratum.register_routine(sql)
+
+
+class TestPerstApplicability:
+    def test_plain_query_applicable(self, stratum):
+        stmt = parse_statement(
+            "SELECT 1 FROM item_author ia WHERE get_author_name(ia.author_id) = 'Ben'"
+        )
+        analysis.check_perst_applicable(stmt, stratum.db.catalog, stratum.registry)
+
+    def test_fetch_before_temporal_call_applicable(self, stratum):
+        """q17's shape: FETCH at the top of the loop is fine."""
+        _install(stratum, """
+        CREATE FUNCTION walker () RETURNS INTEGER READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE iid CHAR(10);
+          DECLARE done INTEGER DEFAULT 0;
+          DECLARE n INTEGER DEFAULT 0;
+          DECLARE c CURSOR FOR SELECT id FROM item;
+          DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+          OPEN c;
+          w: WHILE done = 0 DO
+            FETCH c INTO iid;
+            IF get_author_name(iid) = 'Ben' THEN SET n = n + 1; END IF;
+          END WHILE w;
+          CLOSE c;
+          RETURN n;
+        END
+        """)
+        stmt = parse_statement("SELECT walker()")
+        analysis.check_perst_applicable(stmt, stratum.db.catalog, stratum.registry)
+
+    def test_non_nested_fetch_rejected(self, stratum):
+        """q17b's shape: FETCH after a temporal producer in the loop."""
+        _install(stratum, """
+        CREATE FUNCTION walker2 () RETURNS INTEGER READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE iid CHAR(10);
+          DECLARE done INTEGER DEFAULT 0;
+          DECLARE n INTEGER DEFAULT 0;
+          DECLARE c CURSOR FOR SELECT id FROM item;
+          DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+          OPEN c;
+          FETCH c INTO iid;
+          w: WHILE done = 0 DO
+            IF get_author_name(iid) = 'Ben' THEN SET n = n + 1; END IF;
+            FETCH c INTO iid;
+          END WHILE w;
+          CLOSE c;
+          RETURN n;
+        END
+        """)
+        stmt = parse_statement("SELECT walker2()")
+        with pytest.raises(PerStatementInapplicableError):
+            analysis.check_perst_applicable(
+                stmt, stratum.db.catalog, stratum.registry
+            )
+
+    def test_fetch_of_loop_local_cursor_fine(self, stratum):
+        """A cursor declared inside the loop's own compound is not outer."""
+        _install(stratum, """
+        CREATE FUNCTION walker3 () RETURNS INTEGER READS SQL DATA LANGUAGE SQL
+        BEGIN
+          DECLARE n INTEGER DEFAULT 0;
+          DECLARE k INTEGER DEFAULT 0;
+          w: WHILE k < 2 DO
+            SET k = k + 1;
+            BEGIN
+              DECLARE iid CHAR(10);
+              DECLARE done INTEGER DEFAULT 0;
+              DECLARE c CURSOR FOR SELECT id FROM item;
+              DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+              OPEN c;
+              IF get_author_name('a1') = 'Ben' THEN SET n = n + 1; END IF;
+              FETCH c INTO iid;
+              CLOSE c;
+            END;
+          END WHILE w;
+          RETURN n;
+        END
+        """)
+        stmt = parse_statement("SELECT walker3()")
+        # the FETCH follows a temporal producer, but its cursor is local
+        # to the same compound, so per-period evaluation is consistent
+        analysis.check_perst_applicable(stmt, stratum.db.catalog, stratum.registry)
+
+
+class TestRoutinesWithInnerModifiers:
+    def test_flags_routines(self, stratum):
+        stratum.db.catalog.drop_routine("get_author_name")
+        from repro.sqlengine.catalog import Routine
+
+        definition = parse_statement(
+            "CREATE PROCEDURE audit () LANGUAGE SQL BEGIN"
+            " NONSEQUENCED VALIDTIME SELECT title, begin_time FROM item; END"
+        )
+        stratum.db.catalog.add_routine(
+            Routine(kind="PROCEDURE", definition=definition)
+        )
+        stmt = parse_statement("CALL audit()")
+        assert analysis.routines_with_inner_modifiers(
+            stmt, stratum.db.catalog
+        ) == ["audit"]

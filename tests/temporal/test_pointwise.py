@@ -1,0 +1,107 @@
+"""Point-wise transformation core tests (shared by cur/max/fallback)."""
+
+import pytest
+
+from repro.sqlengine.parser import parse_expression, parse_statement
+from repro.temporal.errors import TemporalError
+from repro.temporal.pointwise import (
+    add_point_conditions,
+    forbid_temporal_dml,
+    transform_statement_at_point,
+)
+
+from tests.conftest import make_bookstore
+
+
+@pytest.fixture
+def stratum():
+    return make_bookstore()
+
+
+def point():
+    return parse_expression("p0")
+
+
+class TestAddPointConditions:
+    def test_temporal_table_gains_overlap(self, stratum):
+        stmt = parse_statement("SELECT title FROM item")
+        add_point_conditions(stmt, point(), stratum.registry)
+        sql = stmt.to_sql()
+        assert "item.begin_time <= p0" in sql
+        assert "p0 < item.end_time" in sql
+
+    def test_alias_used_when_present(self, stratum):
+        stmt = parse_statement("SELECT i.title FROM item i")
+        add_point_conditions(stmt, point(), stratum.registry)
+        assert "i.begin_time <= p0" in stmt.to_sql()
+
+    def test_existing_where_preserved(self, stratum):
+        stmt = parse_statement("SELECT title FROM item WHERE id = 'i1'")
+        add_point_conditions(stmt, point(), stratum.registry)
+        sql = stmt.to_sql()
+        assert "id = 'i1' AND" in sql
+
+    def test_non_temporal_table_untouched(self, stratum):
+        stratum.db.execute("CREATE TABLE plain (x INTEGER)")
+        stmt = parse_statement("SELECT x FROM plain")
+        add_point_conditions(stmt, point(), stratum.registry)
+        assert stmt.where is None
+
+    def test_each_select_gets_own_tables_only(self, stratum):
+        stmt = parse_statement(
+            "SELECT title FROM item WHERE EXISTS (SELECT 1 FROM author)"
+        )
+        add_point_conditions(stmt, point(), stratum.registry)
+        sql = stmt.to_sql()
+        # the inner subquery carries author's condition (inside parens),
+        # the outer carries item's; each exactly once
+        inner = sql.split("EXISTS (")[1].split(")")[0]
+        assert "author.begin_time <= p0" in inner
+        assert "item.begin_time" not in inner
+        assert sql.count("author.begin_time <= p0") == 1
+        assert sql.count("item.begin_time <= p0") == 1
+
+    def test_join_sources_covered(self, stratum):
+        stmt = parse_statement(
+            "SELECT 1 FROM item i JOIN item_author ia ON i.id = ia.item_id"
+        )
+        add_point_conditions(stmt, point(), stratum.registry)
+        sql = stmt.to_sql()
+        assert "i.begin_time <= p0" in sql
+        assert "ia.begin_time <= p0" in sql
+
+
+class TestForbidTemporalDml:
+    def test_write_to_temporal_table_rejected(self, stratum):
+        stmt = parse_statement("DELETE FROM item WHERE id = 'i1'")
+        with pytest.raises(TemporalError):
+            forbid_temporal_dml(stmt, stratum.registry)
+
+    def test_write_to_plain_table_fine(self, stratum):
+        stratum.db.execute("CREATE TABLE plain (x INTEGER)")
+        stmt = parse_statement("INSERT INTO plain VALUES (1)")
+        forbid_temporal_dml(stmt, stratum.registry)
+
+    def test_nested_write_in_routine_body_rejected(self, stratum):
+        stmt = parse_statement(
+            "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+            " UPDATE item SET title = 'x'; END"
+        )
+        with pytest.raises(TemporalError):
+            forbid_temporal_dml(stmt.body, stratum.registry)
+
+
+class TestRenameWithExtraArgs:
+    def test_rename_and_append(self, stratum):
+        from tests.conftest import GET_AUTHOR_NAME
+
+        stratum.register_routine(GET_AUTHOR_NAME)
+        stmt = parse_statement("SELECT get_author_name('a1') FROM item")
+        transform_statement_at_point(
+            stmt,
+            point(),
+            stratum.registry,
+            {"get_author_name": "max_get_author_name"},
+            extra_args=lambda: [parse_expression("p0")],
+        )
+        assert "max_get_author_name('a1', p0)" in stmt.to_sql()

@@ -1,0 +1,78 @@
+"""Temporal registry tests."""
+
+import pytest
+
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.storage import Column, Table
+from repro.sqlengine.types import SqlType
+from repro.temporal.schema import TemporalRegistry, TemporalTableInfo
+
+
+def temporal_table(name="t"):
+    return Table(
+        name,
+        [
+            Column("v", SqlType("INTEGER")),
+            Column("begin_time", SqlType("DATE")),
+            Column("end_time", SqlType("DATE")),
+        ],
+    )
+
+
+class TestRegistry:
+    def test_add_and_lookup_case_insensitive(self):
+        registry = TemporalRegistry()
+        registry.add(TemporalTableInfo(name="t"), temporal_table())
+        assert registry.is_temporal("T")
+        assert registry.get("t").name == "t"
+
+    def test_missing_timestamp_column_rejected(self):
+        registry = TemporalRegistry()
+        bare = Table("t", [Column("v", SqlType("INTEGER"))])
+        with pytest.raises(CatalogError):
+            registry.add(TemporalTableInfo(name="t"), bare)
+
+    def test_non_date_timestamp_rejected(self):
+        registry = TemporalRegistry()
+        bad = Table(
+            "t",
+            [Column("begin_time", SqlType("INTEGER")),
+             Column("end_time", SqlType("DATE"))],
+        )
+        with pytest.raises(CatalogError):
+            registry.add(TemporalTableInfo(name="t"), bad)
+
+    def test_custom_column_names(self):
+        registry = TemporalRegistry()
+        table = Table(
+            "t",
+            [Column("v", SqlType("INTEGER")),
+             Column("vt_start", SqlType("DATE")),
+             Column("vt_end", SqlType("DATE"))],
+        )
+        info = TemporalTableInfo(name="t", begin_column="vt_start", end_column="vt_end")
+        registry.add(info, table)
+        assert registry.get("t").begin_column == "vt_start"
+
+    def test_remove(self):
+        registry = TemporalRegistry()
+        registry.add(TemporalTableInfo(name="t"), temporal_table())
+        registry.remove("t")
+        assert not registry.is_temporal("t")
+
+    def test_names_sorted(self):
+        registry = TemporalRegistry()
+        registry.add(TemporalTableInfo(name="zz"), temporal_table("zz"))
+        registry.add(TemporalTableInfo(name="aa"), temporal_table("aa"))
+        assert registry.names() == ["aa", "zz"]
+
+    def test_value_columns_hide_timestamps(self):
+        registry = TemporalRegistry()
+        table = temporal_table()
+        registry.add(TemporalTableInfo(name="t"), table)
+        assert registry.value_columns(table) == ["v"]
+
+    def test_value_columns_of_unregistered_table(self):
+        registry = TemporalRegistry()
+        table = temporal_table()
+        assert registry.value_columns(table) == ["v", "begin_time", "end_time"]

@@ -1,0 +1,97 @@
+"""Views with temporal modifiers in their bodies (paper §III)."""
+
+import pytest
+
+from repro.sqlengine.values import Date
+from repro.temporal.errors import TemporalError
+from repro.temporal.period import Period, coalesce
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+
+@pytest.fixture
+def stratum():
+    s = make_bookstore()
+    s.register_routine(GET_AUTHOR_NAME)
+    return s
+
+
+class TestSequencedViews:
+    def test_view_rows_carry_periods(self, stratum):
+        stratum.execute(
+            "CREATE VIEW name_history AS ("
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-12-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1')"
+        )
+        rows = stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT first_name, begin_time, end_time"
+            " FROM name_history ORDER BY begin_time"
+        ).rows
+        assert [(r[0], r[1].to_iso(), r[2].to_iso()) for r in rows] == [
+            ("Ben", "2010-01-01", "2010-06-01"),
+            ("Benjamin", "2010-06-01", "2010-12-01"),
+        ]
+
+    def test_view_with_function_call(self, stratum):
+        stratum.execute(
+            "CREATE VIEW ben_titles AS ("
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-12-01']"
+            " SELECT i.title FROM item i, item_author ia"
+            " WHERE i.id = ia.item_id AND get_author_name(ia.author_id) = 'Ben')"
+        )
+        rows = stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT title, begin_time, end_time FROM ben_titles"
+        ).rows
+        merged = coalesce(
+            [((r[0],), Period(r[1].ordinal, r[2].ordinal)) for r in rows]
+        )
+        assert (("Book One",), Period.from_iso("2010-01-15", "2010-06-01")) in merged
+
+    def test_view_reflects_later_data_changes(self, stratum):
+        stratum.execute(
+            "CREATE VIEW name_history AS ("
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-12-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a9')"
+        )
+        assert stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT first_name FROM name_history"
+        ).rows == []
+        stratum.db.execute(
+            "INSERT INTO author VALUES ('a9', 'Nina', 'Kraus',"
+            " DATE '2010-02-01', DATE '9999-12-31')"
+        )
+        assert stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT first_name FROM name_history"
+        ).rows == [["Nina"]]
+
+    def test_non_algebraic_body_rejected(self, stratum):
+        with pytest.raises(TemporalError):
+            stratum.execute(
+                "CREATE VIEW agg AS ("
+                "VALIDTIME [DATE '2010-01-01', DATE '2010-12-01']"
+                " SELECT COUNT(*) AS n FROM item)"
+            )
+
+    def test_nonsequenced_view(self, stratum):
+        stratum.execute(
+            "CREATE VIEW raw_author AS ("
+            "NONSEQUENCED VALIDTIME SELECT first_name, begin_time FROM author)"
+        )
+        rows = stratum.execute(
+            "NONSEQUENCED VALIDTIME SELECT first_name FROM raw_author"
+        ).rows
+        assert len(rows) == 3  # all versions visible
+
+
+class TestCurrentViews:
+    """Views without modifiers keep TUC semantics, evaluated at query time."""
+
+    def test_view_tracks_current_date(self, stratum):
+        stratum.execute(
+            "CREATE VIEW current_names AS"
+            " (SELECT first_name FROM author WHERE author_id = 'a1')"
+        )
+        stratum.db.now = Date.from_ymd(2010, 4, 1)
+        assert stratum.execute("SELECT * FROM current_names").rows == [["Ben"]]
+        stratum.db.now = Date.from_ymd(2010, 8, 1)
+        assert stratum.execute("SELECT * FROM current_names").rows == [["Benjamin"]]

@@ -1,0 +1,206 @@
+"""Stratum-level behavior: modifiers, contexts, strategy selection."""
+
+import pytest
+
+from repro.sqlengine.errors import CatalogError
+from repro.sqlengine.values import Date
+from repro.temporal import SlicingStrategy, TemporalResult, TemporalStratum
+from repro.temporal.errors import SequencedContextError, TemporalError
+from repro.temporal.period import Period
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+
+@pytest.fixture
+def stratum():
+    s = make_bookstore()
+    s.register_routine(GET_AUTHOR_NAME)
+    return s
+
+
+class TestRegistration:
+    def test_create_temporal_table_registers(self, stratum):
+        assert stratum.registry.is_temporal("author")
+        assert stratum.registry.is_temporal("ITEM")
+
+    def test_add_validtime_adds_missing_columns(self):
+        s = TemporalStratum()
+        s.db.execute("CREATE TABLE t (x INTEGER)")
+        s.db.execute("INSERT INTO t VALUES (1)")
+        s.execute("ALTER TABLE t ADD VALIDTIME")
+        assert s.registry.is_temporal("t")
+        row = s.db.catalog.get_table("t").rows[0]
+        assert row[1] == Date(Date.MIN_ORDINAL)
+        assert row[2] == Date(Date.MAX_ORDINAL)
+
+    def test_add_validtime_requires_date_columns(self):
+        s = TemporalStratum()
+        s.db.execute("CREATE TABLE t (x INTEGER, begin_time INTEGER, end_time DATE)")
+        with pytest.raises(CatalogError):
+            s.execute("ALTER TABLE t ADD VALIDTIME")
+
+    def test_reregistering_routine_replaces(self, stratum):
+        stratum.db.catalog.drop_routine("get_author_name")
+        stratum.register_routine(GET_AUTHOR_NAME)
+        assert stratum.db.catalog.has_routine("get_author_name")
+
+
+class TestTemporalResult:
+    def test_value_columns(self, stratum):
+        result = stratum.execute(
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert isinstance(result, TemporalResult)
+        assert result.value_columns == ["first_name"]
+        assert result.columns[-2:] == ["begin_time", "end_time"]
+
+    def test_temporal_rows(self, stratum):
+        result = stratum.execute(
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        for values, period in result.temporal_rows():
+            assert values == ("Ben",)
+            assert isinstance(period, Period)
+
+
+class TestContexts:
+    def test_explicit_context_evaluated(self, stratum):
+        result = stratum.execute(
+            "VALIDTIME [DATE '2010-06-01', DATE '2010-07-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert result.coalesced() == [
+            (("Benjamin",), Period.from_iso("2010-06-01", "2010-07-01"))
+        ]
+
+    def test_bad_context_bounds_raise(self, stratum):
+        with pytest.raises(TemporalError):
+            stratum.execute(
+                "VALIDTIME [1, 2] SELECT first_name FROM author",
+                strategy=SlicingStrategy.MAX,
+            )
+
+    def test_empty_context_raises(self, stratum):
+        with pytest.raises(Exception):
+            stratum.execute(
+                "VALIDTIME [DATE '2010-06-01', DATE '2010-06-01']"
+                " SELECT first_name FROM author",
+                strategy=SlicingStrategy.MAX,
+            )
+
+
+class TestAutoStrategy:
+    def test_auto_picks_and_records(self, stratum):
+        stratum.execute(
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-02-08']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            strategy=SlicingStrategy.AUTO,
+        )
+        assert stratum.last_strategy in (SlicingStrategy.MAX, SlicingStrategy.PERST)
+
+    def test_auto_small_short_context_is_max(self, stratum):
+        """§VII-F rule (c): small database and short context."""
+        stratum.execute(
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-02-03']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            strategy=SlicingStrategy.AUTO,
+        )
+        assert stratum.last_strategy is SlicingStrategy.MAX
+
+
+class TestInnerModifierRules:
+    """§IV-A: explicit modifiers inside routines → nonsequenced-only."""
+
+    def _register_audit(self, stratum):
+        stratum.register_routine(
+            "CREATE PROCEDURE audit () LANGUAGE SQL BEGIN"
+            " VALIDTIME [DATE '2010-01-01', DATE '2010-12-01']"
+            " SELECT first_name FROM author; END"
+        )
+
+    def test_sequenced_invocation_rejected(self, stratum):
+        self._register_audit(stratum)
+        with pytest.raises(SequencedContextError):
+            stratum.execute(
+                "VALIDTIME CALL audit()", strategy=SlicingStrategy.MAX
+            )
+
+    def test_current_invocation_rejected(self, stratum):
+        self._register_audit(stratum)
+        with pytest.raises(SequencedContextError):
+            stratum.execute("CALL audit()")
+
+    def test_nonsequenced_invocation_allowed(self, stratum):
+        self._register_audit(stratum)
+        results = stratum.execute("NONSEQUENCED VALIDTIME CALL audit()")
+        assert len(results) == 1
+        # the inner VALIDTIME SELECT ran with sequenced semantics
+        names = {row[0] for row in results[0].rows}
+        assert "Ben" in names and "Benjamin" in names
+
+
+class TestTransformInspection:
+    def test_transform_current(self, stratum):
+        result = stratum.transform(
+            "SELECT first_name FROM author WHERE author_id = 'a1'"
+        )
+        assert "CURRENT_DATE" in result.to_sql()
+
+    def test_transform_max(self, stratum):
+        result = stratum.transform(
+            "VALIDTIME SELECT get_author_name('a1') FROM item",
+            SlicingStrategy.MAX,
+        )
+        assert "max_get_author_name" in result.to_sql()
+
+    def test_transform_perst(self, stratum):
+        result = stratum.transform(
+            "VALIDTIME SELECT get_author_name('a1') FROM item",
+            SlicingStrategy.PERST,
+        )
+        assert "ps_get_author_name" in result.to_sql()
+
+    def test_transform_nonsequenced_strips_modifier(self, stratum):
+        result = stratum.transform(
+            "NONSEQUENCED VALIDTIME SELECT begin_time FROM author"
+        )
+        assert "VALIDTIME" not in result.to_sql()
+
+
+class TestStrategyConsistency:
+    def test_max_and_perst_agree_on_function_query(self, stratum):
+        sql = (
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-10-01']"
+            " SELECT i.title FROM item i, item_author ia"
+            " WHERE i.id = ia.item_id AND get_author_name(ia.author_id) = 'Ben'"
+        )
+        left = stratum.execute(sql, strategy=SlicingStrategy.MAX).coalesced()
+        right = stratum.execute(sql, strategy=SlicingStrategy.PERST).coalesced()
+        assert left == right
+
+    def test_repeated_execution_stable(self, stratum):
+        sql = (
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'"
+        )
+        first = stratum.execute(sql, strategy=SlicingStrategy.PERST).coalesced()
+        second = stratum.execute(sql, strategy=SlicingStrategy.PERST).coalesced()
+        assert first == second
+
+    def test_data_change_between_executions_reflected(self, stratum):
+        sql = (
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a9'"
+        )
+        assert stratum.execute(sql, strategy=SlicingStrategy.MAX).coalesced() == []
+        stratum.db.execute(
+            "INSERT INTO author VALUES ('a9', 'New', 'Author',"
+            " DATE '2010-01-01', DATE '9999-12-31')"
+        )
+        merged = stratum.execute(sql, strategy=SlicingStrategy.MAX).coalesced()
+        assert merged == [(("New",), Period.from_iso("2010-02-01", "2010-03-01"))]

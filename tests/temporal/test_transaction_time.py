@@ -1,0 +1,223 @@
+"""Transaction-time support (paper §III: "everything also applies").
+
+Covers: system-maintained DML, append-only history, time travel via the
+transaction clock, nonsequenced/sequenced TRANSACTIONTIME (both slicing
+strategies, including through routines), and bitemporal composition.
+"""
+
+import pytest
+
+from repro.sqlengine.values import Date
+from repro.temporal import SlicingStrategy, TemporalStratum
+from repro.temporal.errors import TemporalError
+from repro.temporal.period import Period
+
+
+@pytest.fixture
+def stratum():
+    s = TemporalStratum()
+    s.db.execute("CREATE TABLE account (id CHAR(8), balance FLOAT)")
+    s.db.now = Date.from_ymd(2010, 1, 1)
+    s.execute("ALTER TABLE account ADD TRANSACTIONTIME")
+    s.execute("INSERT INTO account (id, balance) VALUES ('a1', 100.0)")
+    s.execute("INSERT INTO account (id, balance) VALUES ('a2', 50.0)")
+    s.db.now = Date.from_ymd(2010, 2, 1)
+    s.execute("UPDATE account SET balance = 150.0 WHERE id = 'a1'")
+    s.db.now = Date.from_ymd(2010, 3, 1)
+    s.execute("DELETE FROM account WHERE id = 'a1'")
+    s.db.now = Date.from_ymd(2010, 6, 1)
+    return s
+
+
+class TestSystemMaintainedDml:
+    def test_history_is_append_only(self, stratum):
+        table = stratum.db.catalog.get_table("account")
+        # a1: two closed versions; a2: one open version
+        assert len(table) == 3
+
+    def test_current_state_after_delete(self, stratum):
+        rows = stratum.execute("SELECT id FROM account").rows
+        assert rows == [["a2"]]
+
+    def test_explicit_tt_columns_rejected_on_insert(self, stratum):
+        with pytest.raises(TemporalError):
+            stratum.execute(
+                "INSERT INTO account (id, balance, tt_start)"
+                " VALUES ('a3', 1.0, DATE '2010-01-01')"
+            )
+
+    def test_explicit_tt_columns_rejected_on_update(self, stratum):
+        with pytest.raises(TemporalError):
+            stratum.execute(
+                "UPDATE account SET tt_stop = DATE '2010-01-01'"
+            )
+
+    def test_same_day_update_overwrites_in_place(self, stratum):
+        stratum.execute("INSERT INTO account (id, balance) VALUES ('a3', 1.0)")
+        stratum.execute("UPDATE account SET balance = 2.0 WHERE id = 'a3'")
+        history = stratum.execute(
+            "NONSEQUENCED TRANSACTIONTIME SELECT balance FROM account"
+            " WHERE id = 'a3'"
+        ).rows
+        assert history == [[2.0]]  # no zero-length version recorded
+
+    def test_same_day_insert_delete_leaves_nothing(self, stratum):
+        stratum.execute("INSERT INTO account (id, balance) VALUES ('a4', 1.0)")
+        stratum.execute("DELETE FROM account WHERE id = 'a4'")
+        history = stratum.execute(
+            "NONSEQUENCED TRANSACTIONTIME SELECT balance FROM account"
+            " WHERE id = 'a4'"
+        ).rows
+        assert history == []
+
+    def test_insert_from_select_is_stamped(self, stratum):
+        stratum.db.execute("CREATE TABLE feed (id CHAR(8), balance FLOAT)")
+        stratum.db.execute("INSERT INTO feed VALUES ('a9', 9.0)")
+        stratum.execute("INSERT INTO account (id, balance) SELECT id, balance FROM feed")
+        row = stratum.execute(
+            "NONSEQUENCED TRANSACTIONTIME SELECT tt_start, tt_stop"
+            " FROM account WHERE id = 'a9'"
+        ).rows[0]
+        assert row[0] == Date.from_ymd(2010, 6, 1)
+        assert row[1] == Date(Date.MAX_ORDINAL)
+
+
+class TestTimeTravel:
+    def test_as_of_past_clock(self, stratum):
+        stratum.transaction_clock = Date.from_ymd(2010, 2, 15)
+        assert stratum.execute(
+            "SELECT balance FROM account WHERE id = 'a1'"
+        ).rows == [[150.0]]
+        stratum.transaction_clock = Date.from_ymd(2010, 1, 15)
+        assert stratum.execute(
+            "SELECT balance FROM account WHERE id = 'a1'"
+        ).rows == [[100.0]]
+
+    def test_clock_reset_returns_to_present(self, stratum):
+        stratum.transaction_clock = Date.from_ymd(2010, 1, 15)
+        stratum.transaction_clock = None
+        assert stratum.execute(
+            "SELECT balance FROM account WHERE id = 'a1'"
+        ).rows == []
+
+    def test_before_first_record(self, stratum):
+        stratum.transaction_clock = Date.from_ymd(2009, 6, 1)
+        assert stratum.execute("SELECT id FROM account").rows == []
+
+
+class TestSequencedTransactionTime:
+    CONTEXT = "TRANSACTIONTIME [DATE '2010-01-01', DATE '2010-06-01'] "
+    EXPECTED = [
+        ((100.0,), Period.from_iso("2010-01-01", "2010-02-01")),
+        ((150.0,), Period.from_iso("2010-02-01", "2010-03-01")),
+    ]
+
+    def test_max(self, stratum):
+        result = stratum.execute(
+            self.CONTEXT + "SELECT balance FROM account WHERE id = 'a1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert result.coalesced() == self.EXPECTED
+
+    def test_perst(self, stratum):
+        result = stratum.execute(
+            self.CONTEXT + "SELECT balance FROM account WHERE id = 'a1'",
+            strategy=SlicingStrategy.PERST,
+        )
+        assert result.coalesced() == self.EXPECTED
+
+    def test_through_routine(self, stratum):
+        stratum.register_routine("""
+        CREATE FUNCTION balance_of (aid CHAR(8)) RETURNS FLOAT
+        READS SQL DATA LANGUAGE SQL
+        BEGIN
+          RETURN (SELECT balance FROM account WHERE id = aid);
+        END
+        """)
+        for strategy in (SlicingStrategy.MAX, SlicingStrategy.PERST):
+            result = stratum.execute(
+                self.CONTEXT
+                + "SELECT a.id, balance_of(a.id) AS b FROM account a"
+                  " WHERE a.id = 'a1'",
+                strategy=strategy,
+            )
+            assert result.coalesced() == [
+                (("a1", 100.0), Period.from_iso("2010-01-01", "2010-02-01")),
+                (("a1", 150.0), Period.from_iso("2010-02-01", "2010-03-01")),
+            ], strategy
+
+    def test_nonsequenced_exposes_tt_columns(self, stratum):
+        rows = stratum.execute(
+            "NONSEQUENCED TRANSACTIONTIME SELECT balance, tt_start"
+            " FROM account WHERE id = 'a1' ORDER BY tt_start"
+        ).rows
+        assert [r[0] for r in rows] == [100.0, 150.0]
+
+
+class TestBitemporal:
+    @pytest.fixture
+    def bistratum(self):
+        s = TemporalStratum()
+        s.db.execute(
+            "CREATE TABLE price (item CHAR(8), amount FLOAT,"
+            " begin_time DATE, end_time DATE)"
+        )
+        s.execute("ALTER TABLE price ADD VALIDTIME")
+        s.db.now = Date.from_ymd(2010, 1, 1)
+        s.execute("ALTER TABLE price ADD TRANSACTIONTIME")
+        table = s.db.catalog.get_table("price")
+        # recorded on Jan 1: price 10 valid all of 2010
+        table.insert(["i1", 10.0, Date.from_ymd(2010, 1, 1),
+                      Date.from_ymd(2011, 1, 1),
+                      Date.from_ymd(2010, 1, 1), Date(Date.MAX_ORDINAL)])
+        # on Mar 1 we corrected history: from Feb on the price was 12
+        row = table.rows[0]
+        stop = table.column_index("tt_stop")
+        end = table.column_index("end_time")
+        corrected = list(row)
+        row[stop] = Date.from_ymd(2010, 3, 1)
+        corrected[end] = Date.from_ymd(2010, 2, 1)
+        table.insert(corrected[:4] + [Date.from_ymd(2010, 3, 1), Date(Date.MAX_ORDINAL)])
+        table.insert(["i1", 12.0, Date.from_ymd(2010, 2, 1),
+                      Date.from_ymd(2011, 1, 1),
+                      Date.from_ymd(2010, 3, 1), Date(Date.MAX_ORDINAL)])
+        s.db.now = Date.from_ymd(2010, 6, 1)
+        return s
+
+    def test_current_sees_corrected_belief(self, bistratum):
+        # current valid time (June) under current transaction time
+        assert bistratum.execute(
+            "SELECT amount FROM price WHERE item = 'i1'"
+        ).rows == [[12.0]]
+
+    def test_time_travel_sees_original_belief(self, bistratum):
+        bistratum.transaction_clock = Date.from_ymd(2010, 2, 1)
+        assert bistratum.execute(
+            "SELECT amount FROM price WHERE item = 'i1'"
+        ).rows == [[10.0]]
+
+    def test_sequenced_validtime_under_current_belief(self, bistratum):
+        result = bistratum.execute(
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-06-01']"
+            " SELECT amount FROM price WHERE item = 'i1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert result.coalesced() == [
+            ((10.0,), Period.from_iso("2010-01-01", "2010-02-01")),
+            ((12.0,), Period.from_iso("2010-02-01", "2010-06-01")),
+        ]
+
+    def test_sequenced_validtime_as_of_past(self, bistratum):
+        bistratum.transaction_clock = Date.from_ymd(2010, 2, 1)
+        result = bistratum.execute(
+            "VALIDTIME [DATE '2010-01-01', DATE '2010-06-01']"
+            " SELECT amount FROM price WHERE item = 'i1'",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert result.coalesced() == [
+            ((10.0,), Period.from_iso("2010-01-01", "2010-06-01")),
+        ]
+
+    def test_direct_bitemporal_dml_rejected(self, bistratum):
+        with pytest.raises(TemporalError):
+            bistratum.execute("DELETE FROM price WHERE item = 'i1'")

@@ -1,0 +1,129 @@
+"""Transformation utility tests."""
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.parser import parse_expression, parse_statement
+from repro.temporal.transform_util import (
+    add_condition,
+    and_all,
+    clone,
+    fold_first_instance,
+    fold_last_instance,
+    from_table_aliases,
+    overlap_at_point,
+    pairwise_overlap,
+    rename_routine_calls,
+    rewrite_expressions,
+    unique_name,
+)
+
+
+class TestClone:
+    def test_deep_copy_is_independent(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = 1")
+        copy = clone(stmt)
+        copy.items[0].expr.name = "b"
+        assert stmt.items[0].expr.name == "a"
+
+    def test_null_singleton_survives_clone(self):
+        from repro.sqlengine.values import Null
+
+        expr = parse_expression("NULL")
+        assert clone(expr).value is Null
+
+
+class TestBuilders:
+    def test_and_all_empty(self):
+        assert and_all([]) is None
+
+    def test_and_all_single(self):
+        cond = parse_expression("a = 1")
+        assert and_all([cond]) is cond
+
+    def test_and_all_multiple(self):
+        combined = and_all([parse_expression("a = 1"), parse_expression("b = 2")])
+        assert combined.to_sql() == "a = 1 AND b = 2"
+
+    def test_add_condition_to_empty_where(self):
+        stmt = parse_statement("SELECT a FROM t")
+        add_condition(stmt, parse_expression("a = 1"))
+        assert stmt.where.to_sql() == "a = 1"
+
+    def test_add_condition_conjoins(self):
+        stmt = parse_statement("SELECT a FROM t WHERE b = 2")
+        add_condition(stmt, parse_expression("a = 1"))
+        assert stmt.where.to_sql() == "b = 2 AND a = 1"
+
+    def test_overlap_at_point(self):
+        cond = overlap_at_point("t", parse_expression("p"))
+        assert cond.to_sql() == "t.begin_time <= p AND p < t.end_time"
+
+    def test_folds(self):
+        exprs = [parse_expression(x) for x in ("a", "b", "c")]
+        assert fold_last_instance(exprs).to_sql() == (
+            "LAST_INSTANCE(LAST_INSTANCE(a, b), c)"
+        )
+        exprs = [parse_expression(x) for x in ("a", "b")]
+        assert fold_first_instance(exprs).to_sql() == "FIRST_INSTANCE(a, b)"
+
+    def test_pairwise_overlap_counts(self):
+        sources = [
+            (parse_expression(f"b{i}"), parse_expression(f"e{i}")) for i in range(3)
+        ]
+        conditions = pairwise_overlap(sources)
+        assert len(conditions) == 6  # 3 pairs x 2 conditions
+
+    def test_unique_name(self):
+        taken = {"cp"}
+        assert unique_name("cp", taken) == "cp2"
+        assert unique_name("cp", taken) == "cp3"
+        assert "cp3" in taken
+
+
+class TestRewriting:
+    def test_rewrite_expressions_replaces_nodes(self):
+        stmt = parse_statement("SELECT f(a) FROM t WHERE f(b) = 1")
+
+        def rewriter(expr):
+            if isinstance(expr, ast.FunctionCall) and expr.name == "f":
+                return ast.Literal(value=0)
+            return None
+
+        rewrite_expressions(stmt, rewriter)
+        assert stmt.to_sql() == "SELECT 0 FROM t WHERE 0 = 1"
+
+    def test_rename_routine_calls_with_args(self):
+        stmt = parse_statement("SELECT g(a), h(b) FROM t")
+        rename_routine_calls(
+            stmt, {"g": "new_g"}, extra_args=lambda: [ast.Literal(value=9)]
+        )
+        sql = stmt.to_sql()
+        assert "new_g(a, 9)" in sql
+        assert "h(b)" in sql  # unmapped call untouched
+
+    def test_rename_covers_call_statements(self):
+        stmt = parse_statement("CALL p(1)")
+        rename_routine_calls(stmt, {"p": "max_p"})
+        assert stmt.name == "max_p"
+
+    def test_rename_inside_table_function_ref(self):
+        stmt = parse_statement("SELECT 1 FROM TABLE(g(x)) AS f")
+        rename_routine_calls(stmt, {"g": "ps_g"})
+        assert "TABLE(ps_g(x))" in stmt.to_sql()
+
+
+class TestFromTableAliases:
+    def test_plain_and_aliased(self):
+        stmt = parse_statement("SELECT 1 FROM a, b x")
+        assert from_table_aliases(stmt) == [("a", "a"), ("b", "x")]
+
+    def test_joins_flattened(self):
+        stmt = parse_statement("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        assert from_table_aliases(stmt) == [("a", "a"), ("b", "b")]
+
+    def test_subqueries_and_functions_excluded(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM (SELECT 1 AS one FROM c) AS s, TABLE(f(1)) AS g"
+        )
+        assert from_table_aliases(stmt) == []

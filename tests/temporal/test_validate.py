@@ -1,0 +1,103 @@
+"""Tests for the validation utilities themselves."""
+
+import pytest
+
+from repro.sqlengine.values import Date
+from repro.temporal import SlicingStrategy, TemporalResult
+from repro.temporal.period import Period
+from repro.temporal.validate import (
+    check_commutativity,
+    check_strategy_equivalence,
+    reference_sequenced_result,
+    sample_temporal_result,
+)
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+
+@pytest.fixture
+def stratum():
+    s = make_bookstore()
+    s.register_routine(GET_AUTHOR_NAME)
+    return s
+
+
+CONTEXT = Period.from_iso("2010-05-20", "2010-06-10")
+QUERY = "SELECT first_name FROM author WHERE author_id = 'a1'"
+
+
+class TestReference:
+    def test_reference_captures_transition(self, stratum):
+        reference = reference_sequenced_result(stratum, QUERY, CONTEXT)
+        assert reference == [
+            (("Ben",), Period.from_iso("2010-05-20", "2010-06-01")),
+            (("Benjamin",), Period.from_iso("2010-06-01", "2010-06-10")),
+        ]
+
+    def test_reference_restores_now(self, stratum):
+        before = stratum.db.now
+        reference_sequenced_result(stratum, QUERY, CONTEXT, sample_every=5)
+        assert stratum.db.now is before
+
+    def test_sampling_skips_granules(self, stratum):
+        sparse = reference_sequenced_result(stratum, QUERY, CONTEXT, sample_every=7)
+        dense = reference_sequenced_result(stratum, QUERY, CONTEXT)
+        assert len(sparse) >= 1
+        # sampled granules are a subset of the dense result's coverage
+        dense_granules = {
+            (values, g)
+            for values, period in dense
+            for g in range(period.begin, period.end)
+        }
+        for values, period in sparse:
+            for g in range(period.begin, period.end):
+                assert (values, g) in dense_granules
+
+
+class TestSampling:
+    def test_sample_temporal_result_clips(self, stratum):
+        result = TemporalResult(
+            ["v", "begin_time", "end_time"],
+            [["x", Date.from_iso("2010-01-01"), Date.from_iso("2010-12-01")]],
+        )
+        sampled = sample_temporal_result(result, CONTEXT, 1)
+        assert sampled == [(("x",), CONTEXT)]
+
+    def test_row_outside_context_dropped(self, stratum):
+        result = TemporalResult(
+            ["v", "begin_time", "end_time"],
+            [["x", Date.from_iso("2011-01-01"), Date.from_iso("2011-02-01")]],
+        )
+        assert sample_temporal_result(result, CONTEXT, 1) == []
+
+
+class TestChecks:
+    def test_commutativity_detects_agreement(self, stratum):
+        sequenced = (
+            "VALIDTIME [DATE '2010-05-20', DATE '2010-06-10'] " + QUERY
+        )
+        ok, message = check_commutativity(
+            stratum, sequenced, QUERY, CONTEXT, strategy=SlicingStrategy.MAX
+        )
+        assert ok, message
+
+    def test_commutativity_detects_disagreement(self, stratum):
+        sequenced = (
+            "VALIDTIME [DATE '2010-05-20', DATE '2010-06-10'] " + QUERY
+        )
+        wrong_conventional = (
+            "SELECT last_name FROM author WHERE author_id = 'a1'"
+        )
+        ok, message = check_commutativity(
+            stratum, sequenced, wrong_conventional, CONTEXT,
+            strategy=SlicingStrategy.MAX,
+        )
+        assert not ok
+        assert "differ" in message
+
+    def test_equivalence_check(self, stratum):
+        sequenced = (
+            "VALIDTIME [DATE '2010-05-20', DATE '2010-06-10'] " + QUERY
+        )
+        ok, _ = check_strategy_equivalence(stratum, sequenced, CONTEXT)
+        assert ok
