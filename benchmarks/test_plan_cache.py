@@ -1,0 +1,88 @@
+"""Two-phase execution ablation: MAX with and without the plan layer.
+
+DS1-SMALL with a one-year context yields dozens of constant periods;
+with `plan_caching_enabled` the per-period loop binds each statement
+once and reuses the plan (and the stratum reuses the transformation),
+without it every period re-walks the raw AST.  Emits
+``BENCH_plan_cache.json`` with the wall times and counters.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.bench.harness import run_cell
+from repro.taubench import get_query
+from repro.temporal.stratum import SlicingStrategy
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
+CONTEXT_DAYS = 365
+ROUNDS = 2  # report the best of N to damp scheduler noise
+
+
+def _measure(dataset, query, enabled):
+    db = dataset.stratum.db
+    saved = db.plan_caching_enabled
+    db.plan_caching_enabled = enabled
+    db.plan_cache.clear()
+    db.expr_cache.clear()
+    dataset.stratum._transform_cache.clear()
+    try:
+        best = None
+        for _ in range(ROUNDS):
+            cell = run_cell(
+                dataset, query, SlicingStrategy.MAX, CONTEXT_DAYS, warm=True
+            )
+            assert cell.ok, cell.error
+            if best is None or cell.seconds < best.seconds:
+                best = cell
+        return best
+    finally:
+        db.plan_caching_enabled = saved
+
+
+def _cell_dict(cell):
+    return {
+        "seconds": cell.seconds,
+        "rows": cell.rows,
+        "routine_calls": cell.routine_calls,
+        "statements": cell.statements,
+        "plans_compiled": cell.plans_compiled,
+        "plan_cache_hits": cell.plan_cache_hits,
+        "transform_cache_hits": cell.transform_cache_hits,
+    }
+
+
+def test_plan_cache_ablation(benchmark, ds1_small):
+    query = get_query("q2")
+    disabled = _measure(ds1_small, query, False)
+    cached = benchmark.pedantic(
+        lambda: _measure(ds1_small, query, True), rounds=1, iterations=1
+    )
+    payload = {
+        "dataset": "DS1-SMALL",
+        "query": query.name,
+        "strategy": "max",
+        "context_days": CONTEXT_DAYS,
+        "cached": _cell_dict(cached),
+        "cache_disabled": _cell_dict(disabled),
+        "speedup": disabled.seconds / cached.seconds,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print_report(
+        f"MAX {query.name}, {CONTEXT_DAYS}-day context (DS1-SMALL):\n"
+        f"  cached:         {cached.seconds:.3f}s"
+        f"  ({cached.plans_compiled} plans compiled,"
+        f" {cached.plan_cache_hits} plan-cache hits,"
+        f" {cached.transform_cache_hits} transform-cache hits)\n"
+        f"  cache-disabled: {disabled.seconds:.3f}s\n"
+        f"  speedup:        {payload['speedup']:.2f}x"
+        f"  -> {OUTPUT.name}"
+    )
+    # the whole point of the refactor: cached is strictly faster
+    assert cached.seconds < disabled.seconds
+    assert cached.plan_cache_hits > 0
+    assert cached.transform_cache_hits > 0
+    # identical work, fewer compilations
+    assert cached.rows == disabled.rows
+    assert cached.routine_calls == disabled.routine_calls

@@ -34,6 +34,12 @@ class CellResult:
     rows_written: int = 0
     inapplicable: bool = False
     error: Optional[str] = None
+    # two-phase execution counters (bind/plan layer + stratum transform
+    # cache); appended after the original fields so positional callers
+    # keep working
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    transform_cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -87,6 +93,13 @@ def run_cell(
         )
         cell.statements = after["statements"] - before["statements"]
         cell.rows_written = after["rows_written"] - before["rows_written"]
+        cell.plans_compiled = after["plans_compiled"] - before["plans_compiled"]
+        cell.plan_cache_hits = (
+            after["plan_cache_hits"] - before["plan_cache_hits"]
+        )
+        cell.transform_cache_hits = (
+            after["transform_cache_hits"] - before["transform_cache_hits"]
+        )
     except PerStatementInapplicableError:
         cell.inapplicable = True
     except TemporalError as exc:

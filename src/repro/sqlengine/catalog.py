@@ -45,6 +45,17 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ast.Select] = {}
         self._routines: dict[str, Routine] = {}
+        # bumped on any change that could invalidate compiled plans:
+        # add/drop of non-temporary tables, views, and routines.
+        # Temporary tables (the stratum's constant-period scratch tables,
+        # routine table variables) churn once per sequenced execution and
+        # are exempt — plans validate their schema at run time instead.
+        self.schema_version = 0
+
+    def note_schema_change(self) -> None:
+        """Invalidate compiled plans after an out-of-band schema change
+        (e.g. the stratum appending timestamp columns for ADD VALIDTIME)."""
+        self.schema_version += 1
 
     # -- tables ---------------------------------------------------------
 
@@ -53,6 +64,8 @@ class Catalog:
         if not replace and (key in self._tables or key in self._views):
             raise CatalogError(f"table or view {table.name} already exists")
         self._tables[key] = table
+        if not table.temporary:
+            self.schema_version += 1
 
     def get_table(self, name: str) -> Table:
         try:
@@ -64,8 +77,11 @@ class Catalog:
         return name.lower() in self._tables
 
     def drop_table(self, name: str) -> None:
-        if self._tables.pop(name.lower(), None) is None:
+        table = self._tables.pop(name.lower(), None)
+        if table is None:
             raise CatalogError(f"no such table: {name}")
+        if not table.temporary:
+            self.schema_version += 1
 
     def tables(self) -> list[Table]:
         return list(self._tables.values())
@@ -77,6 +93,7 @@ class Catalog:
         if not replace and (key in self._views or key in self._tables):
             raise CatalogError(f"table or view {name} already exists")
         self._views[key] = select
+        self.schema_version += 1
 
     def get_view(self, name: str) -> Optional[ast.Select]:
         return self._views.get(name.lower())
@@ -87,6 +104,7 @@ class Catalog:
     def drop_view(self, name: str) -> None:
         if self._views.pop(name.lower(), None) is None:
             raise CatalogError(f"no such view: {name}")
+        self.schema_version += 1
 
     # -- routines -------------------------------------------------------
 
@@ -94,7 +112,10 @@ class Catalog:
         key = routine.name.lower()
         if not replace and key in self._routines:
             raise CatalogError(f"routine {routine.name} already exists")
+        existing = self._routines.get(key)
         self._routines[key] = routine
+        if existing is None or existing.definition is not routine.definition:
+            self.schema_version += 1
 
     def get_routine(self, name: str) -> Routine:
         try:
@@ -108,6 +129,7 @@ class Catalog:
     def drop_routine(self, name: str) -> None:
         if self._routines.pop(name.lower(), None) is None:
             raise CatalogError(f"no such routine: {name}")
+        self.schema_version += 1
 
     def routines(self) -> list[Routine]:
         return list(self._routines.values())

@@ -27,6 +27,10 @@ class EngineStats:
     total_routine_calls: int = 0
     routine_calls: dict[str, int] = field(default_factory=dict)
     call_depth: int = 0  # transient: current execution nesting
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    transforms: int = 0
+    transform_cache_hits: int = 0
 
     def reset(self) -> None:
         self.statements = 0
@@ -34,6 +38,10 @@ class EngineStats:
         self.total_routine_calls = 0
         self.routine_calls = {}
         self.call_depth = 0
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+        self.transforms = 0
+        self.transform_cache_hits = 0
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -41,7 +49,51 @@ class EngineStats:
             "rows_written": self.rows_written,
             "total_routine_calls": self.total_routine_calls,
             "routine_calls": dict(self.routine_calls),
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
+            "transforms": self.transforms,
+            "transform_cache_hits": self.transform_cache_hits,
         }
+
+
+class PlanCache:
+    """Statement-plan cache keyed by AST identity.
+
+    An entry holds a strong reference to the statement node, so a
+    recycled ``id()`` can never alias a different statement, and records
+    the catalog schema version the plan was bound against — any DDL
+    (non-temporary tables, views, routines) invalidates on fetch.  A
+    ``None`` plan marks a statement the planner cannot handle, sparing
+    re-analysis on every execution.
+    """
+
+    __slots__ = ("_entries",)
+
+    CAPACITY = 512
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple] = {}
+
+    def fetch(self, stmt: ast.Statement, schema_version: int) -> tuple[bool, Any]:
+        entry = self._entries.get(id(stmt))
+        if entry is None:
+            return False, None
+        node, version, plan = entry
+        if node is not stmt or version != schema_version:
+            del self._entries[id(stmt)]
+            return False, None
+        return True, plan
+
+    def store(self, stmt: ast.Statement, schema_version: int, plan: Any) -> None:
+        if len(self._entries) >= self.CAPACITY:
+            self._entries.clear()
+        self._entries[id(stmt)] = (stmt, schema_version, plan)
+
+    def drop(self, stmt: ast.Statement) -> None:
+        self._entries.pop(id(stmt), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 class Database:
@@ -64,6 +116,14 @@ class Database:
         # `memoize_table_functions` exists for the ablation benchmark.
         self.table_function_cache: dict = {}
         self.memoize_table_functions = True
+        # bind/plan layer: compiled statement plans and expression
+        # closures, both invalidated by catalog schema changes.
+        # `plan_caching_enabled` is the ablation switch for the whole
+        # two-phase path (plan cache, expression cache, and the
+        # stratum's transform cache consult it).
+        self.plan_cache = PlanCache()
+        self.expr_cache: dict = {}
+        self.plan_caching_enabled = True
 
     # -- execution -------------------------------------------------------
 

@@ -53,3 +53,13 @@ class RoutineError(ExecutionError):
 
 class CursorError(RoutineError):
     """Raised for cursor misuse (fetch before open, double open, ...)."""
+
+
+class PlanInvalidated(Exception):
+    """Internal signal: a cached execution plan no longer matches the
+    catalog (schema drift, replaced view, redefined table function).
+
+    Deliberately *not* an :class:`SqlError` — it never escapes the
+    engine; the executor catches it, drops the stale plan, and re-runs
+    the statement through the interpreted path.
+    """

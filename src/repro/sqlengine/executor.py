@@ -18,6 +18,7 @@ from repro.sqlengine.errors import (
     CatalogError,
     DivisionByZeroError,
     ExecutionError,
+    PlanInvalidated,
     SqlError,
     TypeError_,
 )
@@ -94,9 +95,29 @@ class Env:
         return Env(parent=self)
 
     def lookup(self, qualifier: Optional[str], name: str) -> Any:
-        key = name.lower()
-        if qualifier is not None:
-            qual = qualifier.lower()
+        return self.lookup_keyed(
+            qualifier.lower() if qualifier is not None else None,
+            name.lower(),
+            qualifier,
+            name,
+        )
+
+    def lookup_keyed(
+        self,
+        qual: Optional[str],
+        key: str,
+        qualifier: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Any:
+        """Resolution with pre-lowered qualifier/name.
+
+        Compiled expressions lower names once at bind time and call this
+        directly; ``qualifier``/``name`` keep the original spellings for
+        error messages.
+        """
+        if qualifier is None and name is None:
+            qualifier, name = qual, key
+        if qual is not None:
             env: Optional[Env] = self
             while env is not None:
                 binding = env.bindings.get(qual)
@@ -196,15 +217,47 @@ class Executor:
 
     def execute_select(self, select: ast.Select, env: Optional[Env] = None) -> ResultSet:
         if select.set_op:
-            result = self._select_no_order(select, env)
+            result = self._run_arm(select, env, None)
             result = self._apply_set_ops(select, result, env)
             if select.order_by:
                 result = self._apply_order_on_output(select, result, env)
         else:
-            result = self._select_no_order(select, env, order_by=select.order_by)
+            result = self._run_arm(select, env, select.order_by)
         if select.limit is not None:
             result.rows = result.rows[: select.limit]
         return result
+
+    def _run_arm(
+        self,
+        select: ast.Select,
+        env: Optional[Env],
+        order_by: Optional[list[ast.OrderItem]],
+    ) -> ResultSet:
+        """Run one SELECT arm through its cached plan, or interpreted.
+
+        The bind/plan phase happens at most once per (statement, schema
+        version); unsupported statements are remembered as uncacheable so
+        the planner is not retried per execution.
+        """
+        db = self.db
+        if not db.plan_caching_enabled:
+            return self._select_no_order(select, env, order_by=order_by)
+        hit, plan = db.plan_cache.fetch(select, db.catalog.schema_version)
+        if not hit:
+            from repro.sqlengine.planner import build_select_plan
+
+            plan = build_select_plan(self, select, env)
+            db.stats.plans_compiled += 1
+            db.plan_cache.store(select, db.catalog.schema_version, plan)
+        else:
+            db.stats.plan_cache_hits += 1
+        if plan is None:
+            return self._select_no_order(select, env, order_by=order_by)
+        try:
+            return plan.run(self, env, bool(order_by))
+        except PlanInvalidated:
+            db.plan_cache.drop(select)
+            return self._select_no_order(select, env, order_by=order_by)
 
     def _apply_set_ops(
         self, select: ast.Select, left: ResultSet, env: Optional[Env]
@@ -213,7 +266,7 @@ class Executor:
         result = left
         while node.set_op:
             rhs_node = node.set_rhs
-            right = self._select_no_order(rhs_node, env)
+            right = self._run_arm(rhs_node, env, None)
             if len(right.columns) != len(result.columns):
                 raise ExecutionError("set operands differ in column count")
             op = node.set_op
@@ -776,7 +829,32 @@ class Executor:
     # DML
     # ------------------------------------------------------------------
 
+    def _run_dml(self, stmt: ast.Statement, env: Optional[Env], interpreted) -> int:
+        """Run a DML statement through its cached plan, or interpreted."""
+        db = self.db
+        if not db.plan_caching_enabled:
+            return interpreted(stmt, env)
+        hit, plan = db.plan_cache.fetch(stmt, db.catalog.schema_version)
+        if not hit:
+            from repro.sqlengine.planner import build_dml_plan
+
+            plan = build_dml_plan(self, stmt, env)
+            db.stats.plans_compiled += 1
+            db.plan_cache.store(stmt, db.catalog.schema_version, plan)
+        else:
+            db.stats.plan_cache_hits += 1
+        if plan is None:
+            return interpreted(stmt, env)
+        try:
+            return plan.run(self, env)
+        except PlanInvalidated:
+            db.plan_cache.drop(stmt)
+            return interpreted(stmt, env)
+
     def execute_insert(self, stmt: ast.Insert, env: Optional[Env]) -> int:
+        return self._run_dml(stmt, env, self._insert_interpreted)
+
+    def _insert_interpreted(self, stmt: ast.Insert, env: Optional[Env]) -> int:
         table = self._resolve_table(stmt.table, env)
         count = 0
         if stmt.select is not None:
@@ -794,6 +872,9 @@ class Executor:
         return count
 
     def execute_update(self, stmt: ast.Update, env: Optional[Env]) -> int:
+        return self._run_dml(stmt, env, self._update_interpreted)
+
+    def _update_interpreted(self, stmt: ast.Update, env: Optional[Env]) -> int:
         table = self._resolve_table(stmt.table, env)
         alias = stmt.alias or stmt.table
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
@@ -817,6 +898,9 @@ class Executor:
         return count
 
     def execute_delete(self, stmt: ast.Delete, env: Optional[Env]) -> int:
+        return self._run_dml(stmt, env, self._delete_interpreted)
+
+    def _delete_interpreted(self, stmt: ast.Delete, env: Optional[Env]) -> int:
         table = self._resolve_table(stmt.table, env)
         alias = stmt.alias or stmt.table
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
@@ -867,6 +951,29 @@ class Executor:
     # ------------------------------------------------------------------
     # expression evaluation
     # ------------------------------------------------------------------
+
+    def evaluate_cached(self, expr: ast.Expression, env: Env) -> Any:
+        """Evaluate via a memoized compiled closure (PSM hot paths).
+
+        Keyed by AST identity with a strong reference to the node, so a
+        recycled ``id()`` can never alias a different expression.
+        """
+        db = self.db
+        if not db.plan_caching_enabled:
+            return self.evaluate(expr, env)
+        cache = db.expr_cache
+        entry = cache.get(id(expr))
+        if entry is None or entry[0] is not expr:
+            from repro.sqlengine.exprcompile import compile_expression
+
+            if len(cache) > 4096:
+                cache.clear()
+            entry = (expr, compile_expression(self, expr, {}))
+            cache[id(expr)] = entry
+        closure = entry[1]
+        if closure is None:
+            return self.evaluate(expr, env)
+        return closure(env)
 
     def evaluate(self, expr: ast.Expression, env: Env) -> Any:
         if isinstance(expr, ast.Literal):

@@ -1,0 +1,423 @@
+"""Expression compilation: AST → Python closures (the *bind* phase).
+
+The interpreted evaluator in :mod:`repro.sqlengine.executor` re-walks
+the expression tree and re-resolves every column name through
+lowercased-string dictionary lookups *per row*.  This module performs
+that resolution once per statement: given a *slot layout* — the mapping
+from FROM-clause alias to its column→index map — a column reference
+compiles to an integer row-index fetch, and every other node compiles to
+a closure over its children's closures.
+
+Compiled closures are drop-in equivalents of ``Executor.evaluate``:
+
+* same results, including three-valued logic and NULL propagation,
+* same errors, raised at the same points,
+* mutable AST leaves (``Literal.value``) are re-read on every call, so
+  the stratum's placeholder-literal trick keeps working.
+
+Safety: a slot closure only takes the fast path when the runtime binding
+carries the *identical* column map the expression was compiled against
+(``binding.columns is colmap``); anything else — unbound alias,
+shadowing parent environment, routine-frame record — falls back to
+``Env.lookup_keyed``, which implements exactly the interpreted
+resolution rules.
+
+``compile_expression`` returns ``None`` for expression forms it does not
+know, in which case callers run the interpreted path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine import functions as fn
+from repro.sqlengine.errors import (
+    CardinalityError,
+    CatalogError,
+    ExecutionError,
+)
+from repro.sqlengine.executor import (
+    Env,
+    Executor,
+    _apply_binary,
+    _like_regex,
+    _negate,
+)
+from repro.sqlengine.types import coerce
+from repro.sqlengine.values import (
+    Null,
+    Unknown,
+    compare,
+    logic_and,
+    logic_not,
+    logic_or,
+    truth,
+)
+
+# A compiled scalar expression: Env → value.
+Compiled = Callable[[Env], Any]
+# A compiled grouped expression: (group rows, base env) → value.
+CompiledGrouped = Callable[[list, Env], Any]
+
+# Layout: alias (lowercased) → column→index map.  The colmap dicts must
+# be the very objects later placed into Binding.columns — slot closures
+# guard on their identity.
+Layout = dict
+
+
+class _Unsupported(Exception):
+    """Internal: expression form the compiler does not handle."""
+
+
+def compile_expression(
+    executor: Executor, expr: ast.Expression, layout: Layout
+) -> Optional[Compiled]:
+    """Compile ``expr`` to a closure, or None if any node is unsupported."""
+    try:
+        return _compile(executor, expr, layout)
+    except _Unsupported:
+        return None
+
+
+def compile_grouped(
+    executor: Executor, expr: ast.Expression, layout: Layout
+) -> Optional[CompiledGrouped]:
+    """Compile an expression that may contain aggregate calls."""
+    try:
+        return _compile_g(executor, expr, layout)
+    except _Unsupported:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# per-row compilation (mirrors Executor.evaluate)
+# ---------------------------------------------------------------------------
+
+
+def _compile(executor: Executor, expr: ast.Expression, layout: Layout) -> Compiled:
+    if isinstance(expr, ast.Literal):
+        # Literal.value is mutable (the stratum substitutes context
+        # bounds and period placeholders in place); read it per call.
+        return lambda env, e=expr: e.value
+    if isinstance(expr, ast.Name):
+        return _compile_name(expr, layout)
+    if isinstance(expr, ast.Parenthesized):
+        return _compile(executor, expr.expr, layout)
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(executor, expr, layout)
+    if isinstance(expr, ast.UnaryOp):
+        operand_c = _compile(executor, expr.operand, layout)
+        if expr.op == "NOT":
+            return lambda env: logic_not(operand_c(env))
+        return lambda env: _negate(operand_c(env))
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_call(executor, expr, layout)
+    if isinstance(expr, ast.Cast):
+        inner_c = _compile(executor, expr.expr, layout)
+        target = expr.target
+        return lambda env: coerce(inner_c(env), target)
+    if isinstance(expr, ast.CaseExpr):
+        return _compile_case(executor, expr, layout)
+    if isinstance(expr, ast.IsNullPredicate):
+        inner_c = _compile(executor, expr.expr, layout)
+        if expr.negated:
+            return lambda env: inner_c(env) is not Null
+        return lambda env: inner_c(env) is Null
+    if isinstance(expr, ast.BetweenPredicate):
+        return _compile_between(executor, expr, layout)
+    if isinstance(expr, ast.InPredicate):
+        return _compile_in(executor, expr, layout)
+    if isinstance(expr, ast.ExistsPredicate):
+        subquery = expr.subquery
+        negated = expr.negated
+        def exists_closure(env: Env) -> Any:
+            result = executor.execute_select(subquery, env)
+            answer = len(result.rows) > 0
+            return not answer if negated else answer
+        return exists_closure
+    if isinstance(expr, ast.LikePredicate):
+        return _compile_like(executor, expr, layout)
+    if isinstance(expr, ast.ScalarSubquery):
+        select = expr.select
+        def scalar_closure(env: Env) -> Any:
+            result = executor.execute_select(select, env)
+            if not result.rows:
+                return Null
+            if len(result.rows) > 1:
+                raise CardinalityError("scalar subquery returned more than one row")
+            return result.rows[0][0]
+        return scalar_closure
+    raise _Unsupported(type(expr).__name__)
+
+
+def _compile_name(expr: ast.Name, layout: Layout) -> Compiled:
+    qualifier, name = expr.qualifier, expr.name
+    qual = qualifier.lower() if qualifier is not None else None
+    key = name.lower()
+    if qual is not None:
+        colmap = layout.get(qual)
+        if colmap is not None:
+            index = colmap.get(key)
+            if index is not None:
+                def qualified_slot(env: Env) -> Any:
+                    binding = env.bindings.get(qual)
+                    if binding is not None and binding.columns is colmap:
+                        return binding.row[index]
+                    return env.lookup_keyed(qual, key, qualifier, name)
+                return qualified_slot
+        return lambda env: env.lookup_keyed(qual, key, qualifier, name)
+    hits = [
+        (alias, colmap, colmap[key])
+        for alias, colmap in layout.items()
+        if key in colmap
+    ]
+    if len(hits) == 1:
+        alias, colmap, index = hits[0]
+        def bare_slot(env: Env) -> Any:
+            binding = env.bindings.get(alias)
+            if binding is not None and binding.columns is colmap:
+                return binding.row[index]
+            return env.lookup_keyed(None, key, None, name)
+        return bare_slot
+    # zero hits (parent env / frame variable) or an ambiguity: resolve
+    # dynamically so the interpreted rules (and errors) apply verbatim
+    return lambda env: env.lookup_keyed(None, key, None, name)
+
+
+def _compile_binary(
+    executor: Executor, expr: ast.BinaryOp, layout: Layout
+) -> Compiled:
+    left_c = _compile(executor, expr.left, layout)
+    right_c = _compile(executor, expr.right, layout)
+    op = expr.op
+    if op == "AND":
+        def and_closure(env: Env) -> Any:
+            left = left_c(env)
+            if left is False:
+                return False
+            return logic_and(left, right_c(env))
+        return and_closure
+    if op == "OR":
+        def or_closure(env: Env) -> Any:
+            left = left_c(env)
+            if left is True:
+                return True
+            return logic_or(left, right_c(env))
+        return or_closure
+    if op == "=":
+        def eq_closure(env: Env) -> Any:
+            verdict = compare(left_c(env), right_c(env))
+            if verdict is Unknown:
+                return Unknown
+            return verdict == 0
+        return eq_closure
+    if op in ("<>", "<", "<=", ">", ">="):
+        return lambda env: _apply_binary(op, left_c(env), right_c(env))
+    return lambda env: _apply_binary(op, left_c(env), right_c(env))
+
+
+def _compile_call(
+    executor: Executor, expr: ast.FunctionCall, layout: Layout
+) -> Compiled:
+    from repro.sqlengine.routines import RoutineInterpreter
+
+    name = expr.name
+    upper = name.upper()
+    arg_cs = [_compile(executor, a, layout) for a in expr.args]
+    catalog = executor.db.catalog
+    db = executor.db
+    interpreter = RoutineInterpreter(executor)
+
+    def call_closure(env: Env) -> Any:
+        if catalog.has_routine(name):
+            return interpreter.invoke_function(name, [c(env) for c in arg_cs])
+        if upper == "CURRENT_DATE":
+            return db.now
+        if fn.is_aggregate(upper):
+            raise ExecutionError(
+                f"aggregate {name} used outside of a grouped query"
+            )
+        if fn.is_scalar_builtin(upper):
+            return fn.call_scalar_builtin(upper, [c(env) for c in arg_cs])
+        raise CatalogError(f"no such function: {name}")
+
+    return call_closure
+
+
+def _compile_case(
+    executor: Executor, expr: ast.CaseExpr, layout: Layout
+) -> Compiled:
+    operand_c = (
+        _compile(executor, expr.operand, layout)
+        if expr.operand is not None
+        else None
+    )
+    whens = [
+        (_compile(executor, when, layout), _compile(executor, then, layout))
+        for when, then in expr.whens
+    ]
+    else_c = (
+        _compile(executor, expr.else_expr, layout)
+        if expr.else_expr is not None
+        else None
+    )
+
+    def case_closure(env: Env) -> Any:
+        if operand_c is not None:
+            operand = operand_c(env)
+            for when_c, then_c in whens:
+                if compare(operand, when_c(env)) == 0:
+                    return then_c(env)
+        else:
+            for when_c, then_c in whens:
+                if truth(when_c(env)):
+                    return then_c(env)
+        if else_c is not None:
+            return else_c(env)
+        return Null
+
+    return case_closure
+
+
+def _compile_between(
+    executor: Executor, expr: ast.BetweenPredicate, layout: Layout
+) -> Compiled:
+    value_c = _compile(executor, expr.expr, layout)
+    low_c = _compile(executor, expr.low, layout)
+    high_c = _compile(executor, expr.high, layout)
+    negated = expr.negated
+
+    def between_closure(env: Env) -> Any:
+        value = value_c(env)
+        lower = compare(value, low_c(env))
+        upper = compare(value, high_c(env))
+        if lower is Unknown or upper is Unknown:
+            return Unknown
+        answer = lower >= 0 and upper <= 0
+        return (not answer) if negated else answer
+
+    return between_closure
+
+
+def _compile_in(
+    executor: Executor, expr: ast.InPredicate, layout: Layout
+) -> Compiled:
+    value_c = _compile(executor, expr.expr, layout)
+    negated = expr.negated
+    subquery = expr.subquery
+    item_cs = (
+        [_compile(executor, e, layout) for e in expr.items or []]
+        if subquery is None
+        else None
+    )
+
+    def in_closure(env: Env) -> Any:
+        value = value_c(env)
+        if subquery is not None:
+            result = executor.execute_select(subquery, env)
+            candidates = [row[0] for row in result.rows]
+        else:
+            candidates = [c(env) for c in item_cs]
+        saw_unknown = False
+        for candidate in candidates:
+            verdict = compare(value, candidate)
+            if verdict is Unknown:
+                saw_unknown = True
+            elif verdict == 0:
+                return False if negated else True
+        if saw_unknown:
+            return Unknown
+        return True if negated else False
+
+    return in_closure
+
+
+def _compile_like(
+    executor: Executor, expr: ast.LikePredicate, layout: Layout
+) -> Compiled:
+    value_c = _compile(executor, expr.expr, layout)
+    pattern_c = _compile(executor, expr.pattern, layout)
+    negated = expr.negated
+    regex_cache: dict = {}
+
+    def like_closure(env: Env) -> Any:
+        value = value_c(env)
+        pattern = pattern_c(env)
+        if value is Null or pattern is Null:
+            return Unknown
+        text = str(pattern)
+        regex = regex_cache.get(text)
+        if regex is None:
+            regex = regex_cache[text] = _like_regex(text)
+        answer = regex.fullmatch(str(value)) is not None
+        return (not answer) if negated else answer
+
+    return like_closure
+
+
+# ---------------------------------------------------------------------------
+# grouped compilation (mirrors Executor._evaluate_grouped)
+# ---------------------------------------------------------------------------
+
+
+def _compile_g(
+    executor: Executor, expr: ast.Expression, layout: Layout
+) -> CompiledGrouped:
+    if isinstance(expr, ast.FunctionCall) and fn.is_aggregate(expr.name):
+        return _compile_g_aggregate(executor, expr, layout)
+    if isinstance(expr, ast.BinaryOp):
+        left_c = _compile_g(executor, expr.left, layout)
+        right_c = _compile_g(executor, expr.right, layout)
+        op = expr.op
+        # no short circuit in the grouped evaluator: both sides evaluate
+        if op == "AND":
+            return lambda group, base: logic_and(
+                left_c(group, base), right_c(group, base)
+            )
+        if op == "OR":
+            return lambda group, base: logic_or(
+                left_c(group, base), right_c(group, base)
+            )
+        return lambda group, base: _apply_binary(
+            op, left_c(group, base), right_c(group, base)
+        )
+    if isinstance(expr, ast.Parenthesized):
+        return _compile_g(executor, expr.expr, layout)
+    if isinstance(expr, ast.UnaryOp):
+        operand_c = _compile_g(executor, expr.operand, layout)
+        if expr.op == "NOT":
+            return lambda group, base: logic_not(operand_c(group, base))
+        return lambda group, base: _negate(operand_c(group, base))
+    if isinstance(expr, ast.Cast):
+        inner_c = _compile_g(executor, expr.expr, layout)
+        target = expr.target
+        return lambda group, base: coerce(inner_c(group, base), target)
+    # every other form evaluates per-row on a representative group row
+    row_c = _compile(executor, expr, layout)
+    return lambda group, base: row_c(group[0] if group else base)
+
+
+def _compile_g_aggregate(
+    executor: Executor, expr: ast.FunctionCall, layout: Layout
+) -> CompiledGrouped:
+    name = expr.name
+    star = expr.star
+    distinct = expr.distinct
+    catalog = executor.db.catalog
+    if not star and not expr.args:
+        raise _Unsupported(f"aggregate {name} with no argument")
+    arg_c = _compile(executor, expr.args[0], layout) if expr.args else None
+    # a user routine shadowing the aggregate name is resolved per call,
+    # exactly like the interpreted evaluator does
+    row_c = _compile(executor, expr, layout)
+
+    def aggregate_closure(group: list, base: Env) -> Any:
+        if not catalog.has_routine(name):
+            if star:
+                return fn.evaluate_aggregate(name, [None] * len(group), star=True)
+            values = [arg_c(row_env) for row_env in group]
+            return fn.evaluate_aggregate(name, values, distinct=distinct)
+        return row_c(group[0] if group else base)
+
+    return aggregate_closure

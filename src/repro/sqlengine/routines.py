@@ -22,7 +22,7 @@ from repro.sqlengine.errors import (
 from repro.sqlengine.executor import Binding, Env, Executor, ResultSet
 from repro.sqlengine.storage import Column, Table
 from repro.sqlengine.types import SqlType, coerce
-from repro.sqlengine.values import Null, truth
+from repro.sqlengine.values import Null, compare, truth
 
 
 class _Return(Exception):
@@ -233,11 +233,11 @@ class RoutineInterpreter:
                     )
                 out_targets.append((index, arg.name))
                 if param.mode == "INOUT":
-                    arg_values.append(self.executor.evaluate(arg, eval_env))
+                    arg_values.append(self.executor.evaluate_cached(arg, eval_env))
                 else:
                     arg_values.append(Null)
             else:
-                arg_values.append(self.executor.evaluate(arg, eval_env))
+                arg_values.append(self.executor.evaluate_cached(arg, eval_env))
         frame = self._new_frame(routine, arg_values)
         self._count_call(routine.name)
         try:
@@ -328,7 +328,7 @@ class RoutineInterpreter:
             raise _Iterate(stmt.label.lower())
         elif isinstance(stmt, ast.ReturnStatement):
             value = (
-                self.executor.evaluate(stmt.value, env)
+                self.executor.evaluate_cached(stmt.value, env)
                 if stmt.value is not None
                 else Null
             )
@@ -373,7 +373,7 @@ class RoutineInterpreter:
             return
         env = Env(frame=frame)
         default = (
-            self.executor.evaluate(stmt.default, env)
+            self.executor.evaluate_cached(stmt.default, env)
             if stmt.default is not None
             else Null
         )
@@ -384,7 +384,7 @@ class RoutineInterpreter:
 
     def _execute_set(self, stmt: ast.SetStatement, frame: Frame, env: Env) -> None:
         if len(stmt.targets) == 1:
-            value = self.executor.evaluate(stmt.value, env)
+            value = self.executor.evaluate_cached(stmt.value, env)
             frame.set_variable(stmt.targets[0], value)
             return
         # row form: SET (a, b) = (SELECT x, y ...)
@@ -429,7 +429,7 @@ class RoutineInterpreter:
 
     def _execute_if(self, stmt: ast.IfStatement, frame: Frame, env: Env) -> None:
         for condition, body in stmt.branches:
-            if truth(self.executor.evaluate(condition, env)):
+            if truth(self.executor.evaluate_cached(condition, env)):
                 for inner in body:
                     self.execute_statement(inner, frame)
                 return
@@ -438,18 +438,16 @@ class RoutineInterpreter:
                 self.execute_statement(inner, frame)
 
     def _execute_case(self, stmt: ast.CaseStatement, frame: Frame, env: Env) -> None:
-        from repro.sqlengine.values import compare
-
         if stmt.operand is not None:
-            operand = self.executor.evaluate(stmt.operand, env)
+            operand = self.executor.evaluate_cached(stmt.operand, env)
             for when, body in stmt.whens:
-                if compare(operand, self.executor.evaluate(when, env)) == 0:
+                if compare(operand, self.executor.evaluate_cached(when, env)) == 0:
                     for inner in body:
                         self.execute_statement(inner, frame)
                     return
         else:
             for when, body in stmt.whens:
-                if truth(self.executor.evaluate(when, env)):
+                if truth(self.executor.evaluate_cached(when, env)):
                     for inner in body:
                         self.execute_statement(inner, frame)
                     return
@@ -459,7 +457,7 @@ class RoutineInterpreter:
 
     def _execute_while(self, stmt: ast.WhileStatement, frame: Frame, env: Env) -> None:
         label = (stmt.label or "").lower()
-        while truth(self.executor.evaluate(stmt.condition, env)):
+        while truth(self.executor.evaluate_cached(stmt.condition, env)):
             try:
                 for inner in stmt.body:
                     self.execute_statement(inner, frame)
@@ -484,7 +482,7 @@ class RoutineInterpreter:
             except _Iterate as iterate:
                 if iterate.label != label:
                     raise
-            if truth(self.executor.evaluate(stmt.until, env)):
+            if truth(self.executor.evaluate_cached(stmt.until, env)):
                 return
 
     def _execute_for(self, stmt: ast.ForStatement, frame: Frame, env: Env) -> None:

@@ -11,7 +11,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.sqlengine.errors import CatalogError, ExecutionError
 from repro.sqlengine.types import SqlType, coerce
-from repro.sqlengine.values import Null
+from repro.sqlengine.values import Null, sort_key
 
 
 class Column:
@@ -150,8 +150,6 @@ class Table:
         since the last build.  NULLs are excluded (equality with NULL is
         never True).
         """
-        from repro.sqlengine.values import Null, sort_key
-
         cached = self._hash_indexes.get(column_index)
         if cached is not None and cached[0] == self.version:
             return cached[1]

@@ -21,10 +21,11 @@ from typing import Optional, Union
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.values import Date
 from repro.temporal import analysis
 from repro.temporal.pointwise import transform_statement_at_point
 from repro.temporal.schema import TemporalRegistry
-from repro.temporal.transform_util import call, clone
+from repro.temporal.transform_util import call, clone, overlap_at_point
 
 CURRENT_PREFIX = "curr_"
 
@@ -174,8 +175,6 @@ def _current_insert(
 def _add_dml_current_condition(
     stmt: Union[ast.Update, ast.Delete], alias: str, info, now: ast.Expression
 ) -> None:
-    from repro.temporal.transform_util import overlap_at_point
-
     condition = overlap_at_point(alias, now, info.begin_column, info.end_column)
     if stmt.where is None:
         stmt.where = condition
@@ -184,6 +183,4 @@ def _add_dml_current_condition(
 
 
 def _forever_date():
-    from repro.sqlengine.values import Date
-
     return Date(Date.MAX_ORDINAL)

@@ -39,6 +39,17 @@ MAX_PREFIX = "max_"
 POINT_PARAM = "begin_time_in"
 
 
+def statement_key(stmt: ast.Statement) -> str:
+    """Canonical text form of a statement for transform-cache keys.
+
+    The transformations are deterministic functions of (statement text,
+    catalog, registry), so two parses of the same SQL share one cached
+    transformation; the stratum combines this with the registry and
+    catalog versions.
+    """
+    return stmt.to_sql()
+
+
 @dataclass
 class MaxTransformResult:
     """Transformed statement + required routine clones + cp metadata."""

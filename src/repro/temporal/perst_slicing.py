@@ -31,8 +31,10 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import Optional, Union
 
 from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine import functions as fn
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.types import SqlType
+from repro.sqlengine.values import Null
 from repro.temporal import analysis
 from repro.temporal.errors import PerStatementInapplicableError, TemporalError
 from repro.temporal.pointwise import forbid_temporal_dml
@@ -1395,8 +1397,6 @@ class PerstTransformer:
             # procedure RETURN ends this period's evaluation
             return [ast.LeaveStatement(label=ONCE_LABEL)]
         if isinstance(stmt, ast.ReturnStatement) and is_function:
-            from repro.sqlengine.values import Null
-
             new_value = clone(stmt.value) if stmt.value is not None else lit(Null)
             holder = ast.SetStatement(targets=["__x"], value=new_value)
             self._pointwise_rewrite(holder, ctx, point)
@@ -1574,8 +1574,6 @@ def _with_period_items(
 
 
 def _has_aggregate(expr: ast.Expression) -> bool:
-    from repro.sqlengine import functions as fn
-
     for child in ast.walk(expr):
         if isinstance(child, ast.FunctionCall) and fn.is_aggregate(child.name):
             return True

@@ -44,6 +44,10 @@ class TemporalRegistry:
 
     def __init__(self) -> None:
         self._tables: dict[str, TemporalTableInfo] = {}
+        # bumped whenever the set of temporal tables changes; the
+        # stratum's transform cache keys on it so a registration change
+        # can never serve a stale transformation
+        self.version = 0
 
     def add(self, info: TemporalTableInfo, table: Table) -> None:
         """Register ``table`` as temporal, validating its timestamp columns."""
@@ -57,9 +61,11 @@ class TemporalRegistry:
                     f"timestamp column {info.name}.{column} must be DATE"
                 )
         self._tables[info.key] = info
+        self.version += 1
 
     def remove(self, name: str) -> None:
-        self._tables.pop(name.lower(), None)
+        if self._tables.pop(name.lower(), None) is not None:
+            self.version += 1
 
     def is_temporal(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -27,19 +27,24 @@ import enum
 from typing import Any, Optional, Union
 
 from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Routine
 from repro.sqlengine.engine import Database
 from repro.sqlengine.errors import CatalogError, ExecutionError
 from repro.sqlengine.executor import Binding, Env, ResultSet
-from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.parser import parse_script, parse_statement
 from repro.sqlengine.storage import Column
 from repro.sqlengine.types import SqlType
-from repro.sqlengine.values import Date, Null
+from repro.sqlengine.values import Date, Null, truth
 from repro.temporal import analysis
 from repro.temporal.constant_periods import materialize_constant_periods
 from repro.temporal.current import CurrentTransformResult, transform_current
 from repro.temporal.errors import SequencedContextError, TemporalError
-from repro.temporal.max_slicing import MaxTransformResult, transform_query_max
-from repro.temporal.period import Period, coalesce
+from repro.temporal.max_slicing import (
+    MaxTransformResult,
+    statement_key,
+    transform_query_max,
+)
+from repro.temporal.period import Period, coalesce, collect_change_points
 from repro.temporal.perst_slicing import (
     BEGIN_PARAM,
     END_PARAM,
@@ -110,6 +115,14 @@ class TemporalStratum:
         self._installed_clones: set[str] = set()
         self._nonseq_only_routines: set[str] = set()
         self._inner_cp_requirements: dict[str, list[str]] = {}
+        # transformed-statement cache: (flavor, statement text, registry
+        # versions, …) → (catalog schema version at store, payload).  An
+        # entry is served only while the catalog schema version still
+        # matches, so DDL and routine redefinition can never expose a
+        # stale transformation; registry versions are part of the key.
+        # Gated by db.plan_caching_enabled (one ablation switch for the
+        # whole two-phase path).
+        self._transform_cache: dict = {}
         self.last_strategy: Optional[SlicingStrategy] = None
         # transaction clock: None tracks db.now; set a past date for
         # time-travel ("as of") reads of transaction-time tables
@@ -119,6 +132,48 @@ class TemporalStratum:
     def clock(self) -> Date:
         """The transaction-time clock (defaults to ``db.now``)."""
         return self.transaction_clock if self.transaction_clock is not None else self.db.now
+
+    # ------------------------------------------------------------------
+    # transform cache
+    # ------------------------------------------------------------------
+
+    TRANSFORM_CACHE_CAPACITY = 256
+
+    def _cache_key(self, flavor: str, stmt: ast.Statement, *extra) -> tuple:
+        """Key for one transformation: flavor tag + statement text +
+        registry versions + the transaction clock (embedded as a literal
+        by the transaction-currency pass), plus path-specific extras."""
+        return (
+            flavor,
+            statement_key(stmt),
+            self.registry.version,
+            self.tt_registry.version,
+            self.clock.ordinal,
+            *extra,
+        )
+
+    def _transform_fetch(self, key: tuple) -> Any:
+        if not self.db.plan_caching_enabled:
+            return None
+        entry = self._transform_cache.get(key)
+        if entry is None:
+            return None
+        version, payload = entry
+        if version != self.db.catalog.schema_version:
+            del self._transform_cache[key]
+            return None
+        self.db.stats.transform_cache_hits += 1
+        return payload
+
+    def _transform_store(self, key: tuple, payload: Any) -> None:
+        """Record a transformation against the *current* schema version —
+        called after routine clones are installed, so the version already
+        reflects them and stays stable across reuse."""
+        if not self.db.plan_caching_enabled:
+            return
+        if len(self._transform_cache) >= self.TRANSFORM_CACHE_CAPACITY:
+            self._transform_cache.clear()
+        self._transform_cache[key] = (self.db.catalog.schema_version, payload)
 
     # ------------------------------------------------------------------
     # registration / DDL
@@ -135,8 +190,6 @@ class TemporalStratum:
     def execute_script(
         self, sql: str, strategy: SlicingStrategy = SlicingStrategy.AUTO
     ) -> list[Any]:
-        from repro.sqlengine.parser import parse_script
-
         return [self.execute_ast(stmt, strategy) for stmt in parse_script(sql)]
 
     def execute_ast(
@@ -171,6 +224,7 @@ class TemporalStratum:
         """
         table = self.db.catalog.get_table(table_name)
         info = TemporalTableInfo(name=table.name)
+        columns_added = False
         for column_name, default in (
             (info.begin_column, Date(Date.MIN_ORDINAL)),
             (info.end_column, Date(Date.MAX_ORDINAL)),
@@ -181,6 +235,11 @@ class TemporalStratum:
                 for row in table.rows:
                     row.append(default)
                 table.version += 1
+                columns_added = True
+        if columns_added:
+            # the table's shape changed out-of-band: compiled plans that
+            # bound against the old column layout must not be reused
+            self.db.catalog.note_schema_change()
         self.registry.add(info, table)
         return info
 
@@ -242,8 +301,6 @@ class TemporalStratum:
     def register_routine_ast(
         self, stmt: Union[ast.CreateFunction, ast.CreateProcedure]
     ) -> None:
-        from repro.sqlengine.catalog import Routine
-
         kind = "FUNCTION" if isinstance(stmt, ast.CreateFunction) else "PROCEDURE"
         if analysis.has_inner_modifier(stmt.body):
             prepared = self._prepare_inner_modifiers(stmt)
@@ -298,12 +355,18 @@ class TemporalStratum:
             dml_result = self._execute_dml(stmt)
             if dml_result is not NotImplemented:
                 return dml_result
+        key = self._cache_key("cur", stmt)
+        cached = self._transform_fetch(key)
+        if cached is not None:
+            return self.db.execute_ast(cached)
+        self.db.stats.transforms += 1
         if touches_vt:
             result = transform_current(stmt, self.db.catalog, self.registry)
             self._install_routines(result.routines)
             stmt = result.statement
         if touches_tt:
             stmt = self._apply_transaction_currency(stmt)
+        self._transform_store(key, stmt)
         return self.db.execute_ast(stmt)
 
     def _execute_dml(self, stmt) -> Any:
@@ -370,8 +433,6 @@ class TemporalStratum:
             if not (begin.ordinal <= now.ordinal < end.ordinal):
                 continue
             env.bindings[alias.lower()] = Binding(colmap, row)
-            from repro.sqlengine.values import truth
-
             if stmt.where is None or truth(executor.evaluate(stmt.where, env)):
                 matches.append(row)
         for row in matches:
@@ -407,8 +468,6 @@ class TemporalStratum:
         end_index = table.column_index(info.end_column)
         executor = self.db.executor
         env = Env()
-        from repro.sqlengine.values import truth
-
         kept: list[list[Any]] = []
         count = 0
         for row in table.rows:
@@ -472,8 +531,6 @@ class TemporalStratum:
         # default: the span of the data, so cp stays finite
         tables = analysis.reachable_temporal_tables(stmt, self.db.catalog, registry)
         points: set[int] = set()
-        from repro.temporal.period import collect_change_points
-
         for name in tables:
             info = registry.get(name)
             points |= collect_change_points(
@@ -556,16 +613,29 @@ class TemporalStratum:
         registry: Optional[TemporalRegistry] = None,
     ) -> Union[TemporalResult, list[TemporalResult]]:
         registry = registry if registry is not None else self.registry
-        result = transform_query_max(
-            stmt, self.db.catalog, registry, MAX_CP_TABLE
-        )
-        materialize_constant_periods(
-            self.db, result.temporal_tables, registry, context, MAX_CP_TABLE
-        )
-        self._install_routines(result.routines)
-        statement = self._apply_other_dimension_currency(
-            result.statement, registry
-        )
+        dim = "tt" if registry is self.tt_registry else "vt"
+        key = self._cache_key("max", stmt, dim)
+        cached = self._transform_fetch(key)
+        if cached is not None:
+            # context only drives the cp materialization (redone per
+            # execution over the live data), never the transformation
+            temporal_tables, statement = cached
+            materialize_constant_periods(
+                self.db, temporal_tables, registry, context, MAX_CP_TABLE
+            )
+        else:
+            self.db.stats.transforms += 1
+            result = transform_query_max(
+                stmt, self.db.catalog, registry, MAX_CP_TABLE
+            )
+            materialize_constant_periods(
+                self.db, result.temporal_tables, registry, context, MAX_CP_TABLE
+            )
+            self._install_routines(result.routines)
+            statement = self._apply_other_dimension_currency(
+                result.statement, registry
+            )
+            self._transform_store(key, (result.temporal_tables, statement))
         if isinstance(statement, ast.Select):
             engine_result = self.db.execute_ast(statement)
             return TemporalResult(engine_result.columns, engine_result.rows)
@@ -602,10 +672,16 @@ class TemporalStratum:
         """
         cp = self.db.catalog.get_table(MAX_CP_TABLE)
         stamped: list[TemporalResult] = []
+        # one clone for the whole loop: the point argument is a shared
+        # literal whose value advances per period, so the engine sees the
+        # same statement (and routine-body) AST every iteration and its
+        # plan cache can hit on every period after the first
+        per_period = clone(call_stmt)
+        placeholder = ast.Literal(value=None)
+        per_period.args = per_period.args + [placeholder]
         for row in list(cp.rows):
             begin, end = row[0], row[1]
-            per_period = clone(call_stmt)
-            per_period.args = per_period.args + [ast.Literal(value=begin)]
+            placeholder.value = begin
             results = self.db.execute_ast(per_period)
             for index, result in enumerate(results or []):
                 columns = result.columns + ["begin_time", "end_time"]
@@ -625,16 +701,30 @@ class TemporalStratum:
         registry: Optional[TemporalRegistry] = None,
     ) -> Union[TemporalResult, list[TemporalResult]]:
         registry = registry if registry is not None else self.registry
-        transformer = PerstTransformer(self.db.catalog, registry)
-        result = transformer.transform(stmt)
-        for cp_table, tables in result.cp_requirements.items():
-            materialize_constant_periods(
-                self.db, tables, registry, context, cp_table
-            )
-        self._install_routines(result.routines)
-        statement = clone(result.statement)
-        substitute_context(statement, context)
-        statement = self._apply_other_dimension_currency(statement, registry)
+        dim = "tt" if registry is self.tt_registry else "vt"
+        # the context is substituted into the statement as literals, so
+        # unlike MAX it is part of the key
+        key = self._cache_key("perst", stmt, dim, context.begin, context.end)
+        cached = self._transform_fetch(key)
+        if cached is not None:
+            cp_requirements, statement = cached
+            for cp_table, tables in cp_requirements.items():
+                materialize_constant_periods(
+                    self.db, tables, registry, context, cp_table
+                )
+        else:
+            self.db.stats.transforms += 1
+            transformer = PerstTransformer(self.db.catalog, registry)
+            result = transformer.transform(stmt)
+            for cp_table, tables in result.cp_requirements.items():
+                materialize_constant_periods(
+                    self.db, tables, registry, context, cp_table
+                )
+            self._install_routines(result.routines)
+            statement = clone(result.statement)
+            substitute_context(statement, context)
+            statement = self._apply_other_dimension_currency(statement, registry)
+            self._transform_store(key, (result.cp_requirements, statement))
         if isinstance(statement, ast.Select):
             engine_result = self.db.execute_ast(statement)
             return TemporalResult(engine_result.columns, engine_result.rows)
@@ -650,10 +740,17 @@ class TemporalStratum:
     # ------------------------------------------------------------------
 
     def _install_routines(self, definitions: list) -> None:
-        from repro.sqlengine.catalog import Routine
-
         for definition in definitions:
             key = definition.name.lower()
+            if (
+                self.db.catalog.has_routine(key)
+                and self.db.catalog.get_routine(key).definition is definition
+            ):
+                # re-installing the identical definition object would be
+                # a no-op; skipping it keeps the catalog schema version
+                # stable so compiled plans stay valid
+                self._installed_clones.add(key)
+                continue
             kind = (
                 "FUNCTION"
                 if isinstance(definition, ast.CreateFunction)
@@ -729,8 +826,6 @@ class TemporalStratum:
             }:
                 context = Period(Date.MIN_ORDINAL, Date.MAX_ORDINAL)
                 points: set[int] = set()
-                from repro.temporal.period import collect_change_points
-
                 for name in tables:
                     info = self.registry.get(name)
                     points |= collect_change_points(

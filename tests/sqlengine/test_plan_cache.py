@@ -1,0 +1,124 @@
+"""The statement-plan cache: reuse, invalidation, and the ablation switch.
+
+Plans are keyed by AST identity, so reuse requires executing the *same*
+parsed statement object repeatedly — exactly what routine bodies and the
+stratum's per-constant-period loop do.
+"""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.parser import parse_statement
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER, name VARCHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'a')")
+    db.execute("INSERT INTO t VALUES (2, 'b')")
+    return db
+
+
+def snapshot_diff(db, run):
+    before = db.stats.snapshot()
+    run()
+    after = db.stats.snapshot()
+    return {k: after[k] - before[k] for k in ("plans_compiled", "plan_cache_hits")}
+
+
+class TestReuse:
+    def test_repeated_execution_hits_cache(self, db):
+        stmt = parse_statement("SELECT name FROM t WHERE id = 1")
+        results = []
+        diff = snapshot_diff(
+            db, lambda: results.extend(db.execute_ast(stmt).rows for _ in range(3))
+        )
+        assert diff["plans_compiled"] == 1
+        assert diff["plan_cache_hits"] == 2
+        assert results == [[["a"]], [["a"]], [["a"]]]
+
+    def test_snapshot_exposes_counters(self, db):
+        snap = db.stats.snapshot()
+        for key in (
+            "plans_compiled",
+            "plan_cache_hits",
+            "transforms",
+            "transform_cache_hits",
+        ):
+            assert key in snap
+
+    def test_dml_plans_are_cached(self, db):
+        stmt = parse_statement("UPDATE t SET name = 'x' WHERE id = 2")
+        diff = snapshot_diff(
+            db, lambda: [db.execute_ast(stmt) for _ in range(2)]
+        )
+        assert diff["plans_compiled"] == 1
+        assert diff["plan_cache_hits"] == 1
+        assert db.execute("SELECT name FROM t WHERE id = 2").rows == [["x"]]
+
+
+class TestInvalidation:
+    def test_drop_create_table_recompiles(self, db):
+        stmt = parse_statement("SELECT name FROM t ORDER BY id")
+        assert db.execute_ast(stmt).rows == [["a"], ["b"]]
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (id INTEGER, name VARCHAR(10))")
+        db.execute("INSERT INTO t VALUES (9, 'z')")
+        diff = snapshot_diff(db, lambda: db.execute_ast(stmt))
+        assert diff["plans_compiled"] == 1  # recompiled, not served stale
+        assert db.execute_ast(stmt).rows == [["z"]]
+
+    def test_column_change_never_serves_stale_rows(self, db):
+        stmt = parse_statement("SELECT * FROM t WHERE id = 1")
+        assert db.execute_ast(stmt).rows == [[1, "a"]]
+        db.execute("DROP TABLE t")
+        db.execute(
+            "CREATE TABLE t (id INTEGER, name VARCHAR(10), extra INTEGER)"
+        )
+        db.execute("INSERT INTO t VALUES (1, 'a', 7)")
+        assert db.execute_ast(stmt).rows == [[1, "a", 7]]
+
+    def test_routine_redefinition_recompiles(self, db):
+        db.execute(
+            "CREATE FUNCTION f (x INTEGER) RETURNS INTEGER LANGUAGE SQL"
+            " BEGIN RETURN x + 1; END"
+        )
+        stmt = parse_statement("SELECT f(id) FROM t ORDER BY id")
+        assert db.execute_ast(stmt).rows == [[2], [3]]
+        db.execute("DROP FUNCTION f")
+        db.execute(
+            "CREATE FUNCTION f (x INTEGER) RETURNS INTEGER LANGUAGE SQL"
+            " BEGIN RETURN x * 10; END"
+        )
+        diff = snapshot_diff(db, lambda: db.execute_ast(stmt))
+        assert diff["plans_compiled"] == 1
+        assert db.execute_ast(stmt).rows == [[10], [20]]
+
+    def test_view_change_invalidates(self, db):
+        db.execute("CREATE VIEW v AS (SELECT id FROM t WHERE id = 1)")
+        stmt = parse_statement("SELECT id FROM v")
+        assert db.execute_ast(stmt).rows == [[1]]
+        db.execute("DROP VIEW v")
+        db.execute("CREATE VIEW v AS (SELECT id FROM t WHERE id = 2)")
+        assert db.execute_ast(stmt).rows == [[2]]
+
+
+class TestAblationSwitch:
+    def test_disabled_compiles_nothing(self, db):
+        db.plan_caching_enabled = False
+        stmt = parse_statement("SELECT name FROM t WHERE id = 1")
+        diff = snapshot_diff(
+            db, lambda: [db.execute_ast(stmt) for _ in range(3)]
+        )
+        assert diff["plans_compiled"] == 0
+        assert diff["plan_cache_hits"] == 0
+        assert db.execute_ast(stmt).rows == [["a"]]
+
+    def test_disabled_matches_enabled_results(self, db):
+        sql = "SELECT t1.name FROM t AS t1, t AS t2 WHERE t1.id = t2.id ORDER BY 1"
+        enabled = db.execute(sql).rows
+        db.plan_caching_enabled = False
+        db.plan_cache.clear()
+        db.expr_cache.clear()
+        assert db.execute(sql).rows == enabled

@@ -1,0 +1,131 @@
+"""The stratum's transform cache: reuse across executions, invalidation
+by registry changes, routine redefinition, and the ablation switch."""
+
+import pytest
+
+from repro.sqlengine.values import Date
+from repro.temporal import SlicingStrategy, TemporalStratum
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+SEQ_Q = (
+    "VALIDTIME [DATE '2010-02-01', DATE '2010-07-01']"
+    " SELECT first_name FROM author WHERE author_id = 'a1'"
+)
+
+
+@pytest.fixture
+def stratum() -> TemporalStratum:
+    return make_bookstore()
+
+
+def counters(stratum):
+    snap = stratum.db.stats.snapshot()
+    return snap["transforms"], snap["transform_cache_hits"]
+
+
+class TestReuse:
+    @pytest.mark.parametrize(
+        "strategy", [SlicingStrategy.MAX, SlicingStrategy.PERST]
+    )
+    def test_second_execution_hits(self, stratum, strategy):
+        first = stratum.execute(SEQ_Q, strategy=strategy)
+        transforms_before, hits_before = counters(stratum)
+        second = stratum.execute(SEQ_Q, strategy=strategy)
+        transforms_after, hits_after = counters(stratum)
+        assert transforms_after == transforms_before  # no re-transform
+        assert hits_after == hits_before + 1
+        assert second.coalesced() == first.coalesced()
+
+    def test_current_path_hits(self, stratum):
+        query = "SELECT first_name FROM author WHERE author_id = 'a1'"
+        first = stratum.execute(query)
+        transforms_before, hits_before = counters(stratum)
+        second = stratum.execute(query)
+        transforms_after, hits_after = counters(stratum)
+        assert transforms_after == transforms_before
+        assert hits_after == hits_before + 1
+        assert second.rows == first.rows == [["Ben"]]
+
+    def test_hit_reflects_data_changes(self, stratum):
+        """The cache reuses the *transformation*, never the result."""
+        before = stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        stratum.db.execute(
+            "UPDATE author SET first_name = 'Benny'"
+            " WHERE author_id = 'a1' AND first_name = 'Ben'"
+        )
+        after = stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        assert {v for (v,), _ in before.coalesced()} == {"Ben", "Benjamin"}
+        assert {v for (v,), _ in after.coalesced()} == {"Benny", "Benjamin"}
+
+
+class TestInvalidation:
+    def test_add_validtime_is_never_stale(self, stratum):
+        """A registry change must retransform: after `u` gains valid
+        time, the cached current transformation (which read `u` raw)
+        would wrongly return its closed-out row."""
+        db = stratum.db
+        db.execute("CREATE TABLE u (author_id CHAR(10), rating INTEGER)")
+        db.execute("INSERT INTO u VALUES ('a1', 5)")
+        db.execute("INSERT INTO u VALUES ('a2', 3)")
+        query = (
+            "SELECT a.first_name, u.rating FROM author AS a, u"
+            " WHERE a.author_id = u.author_id"
+        )
+        first = stratum.execute(query)
+        assert sorted(first.rows) == [["Ben", 5], ["Rosa", 3]]
+        stratum.execute("ALTER TABLE u ADD VALIDTIME")
+        # close out a2's rating before `now` (2010-04-01)
+        db.execute(
+            "UPDATE u SET end_time = DATE '2010-03-01' WHERE author_id = 'a2'"
+        )
+        second = stratum.execute(query)
+        assert sorted(second.rows) == [["Ben", 5]]
+
+    def test_routine_redefinition_is_never_stale(self, stratum):
+        stratum.register_routine(GET_AUTHOR_NAME)
+        query = (
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-07-01']"
+            " SELECT get_author_name(author_id) FROM author"
+            " WHERE author_id = 'a1'"
+        )
+        first = stratum.execute(query, strategy=SlicingStrategy.MAX)
+        assert {v for (v,), _ in first.coalesced()} == {"Ben", "Benjamin"}
+        stratum.db.catalog.drop_routine("get_author_name")
+        stratum.register_routine(
+            GET_AUTHOR_NAME.replace(
+                "SET fname = (SELECT first_name FROM author"
+                " WHERE author_id = aid);",
+                "SET fname = 'redefined';",
+            )
+        )
+        second = stratum.execute(query, strategy=SlicingStrategy.MAX)
+        assert {v for (v,), _ in second.coalesced()} == {"redefined"}
+
+    def test_transaction_clock_is_part_of_the_key(self, stratum):
+        """Time travel embeds the clock as a literal; a cached transform
+        from another clock value must not be served."""
+        db = stratum.db
+        db.execute("CREATE TABLE audit (note CHAR(20))")
+        stratum.execute("ALTER TABLE audit ADD TRANSACTIONTIME")
+        stratum.execute("INSERT INTO audit VALUES ('first')")
+        db.now = Date.from_ymd(2010, 5, 1)
+        stratum.execute("UPDATE audit SET note = 'second'")
+        query = "SELECT note FROM audit"
+        assert stratum.execute(query).rows == [["second"]]
+        stratum.transaction_clock = Date.from_ymd(2010, 4, 15)
+        assert stratum.execute(query).rows == [["first"]]
+        stratum.transaction_clock = None
+        assert stratum.execute(query).rows == [["second"]]
+
+
+class TestAblationSwitch:
+    def test_disabled_retransforms_every_time(self, stratum):
+        stratum.db.plan_caching_enabled = False
+        first = stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        transforms_before, hits_before = counters(stratum)
+        second = stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        transforms_after, hits_after = counters(stratum)
+        assert transforms_after == transforms_before + 1
+        assert hits_after == hits_before
+        assert second.coalesced() == first.coalesced()
