@@ -627,6 +627,28 @@ class DropView(Statement):
         return f"DROP VIEW {self.name}"
 
 
+@dataclass
+class TransactionStatement(Statement):
+    """Transaction control: BEGIN / COMMIT / ROLLBACK / SAVEPOINT forms.
+
+    ``action`` is one of ``"BEGIN"``, ``"COMMIT"``, ``"ROLLBACK"``,
+    ``"SAVEPOINT"``, ``"ROLLBACK TO SAVEPOINT"``, ``"RELEASE
+    SAVEPOINT"``; the savepoint forms carry ``name``.  Executed by the
+    database's :class:`~repro.sqlengine.txn.TransactionManager`, never
+    by the statement executor.
+    """
+
+    action: str
+    name: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.action == "BEGIN":
+            return "START TRANSACTION"
+        if self.name is not None:
+            return f"{self.action} {self.name}"
+        return self.action
+
+
 # ---------------------------------------------------------------------------
 # PSM routines
 # ---------------------------------------------------------------------------
@@ -908,6 +930,27 @@ class LeaveStatement(PsmStatement):
 
     def to_sql(self) -> str:
         return f"LEAVE {self.label}"
+
+
+@dataclass
+class SignalStatement(PsmStatement):
+    """``SIGNAL SQLSTATE 'xxxxx' [SET MESSAGE_TEXT = '...']``.
+
+    Raises a :class:`~repro.sqlengine.errors.SignalError` carrying the
+    state, catchable by a matching SQLSTATE handler or a generic
+    SQLEXCEPTION handler.  Valid both inside routine bodies and as a
+    top-level statement.
+    """
+
+    sqlstate: str
+    message: Optional[str] = None
+
+    def to_sql(self) -> str:
+        sql = f"SIGNAL SQLSTATE '{self.sqlstate}'"
+        if self.message is not None:
+            escaped = self.message.replace("'", "''")
+            sql += f" SET MESSAGE_TEXT = '{escaped}'"
+        return sql
 
 
 @dataclass

@@ -39,7 +39,16 @@ class Routine:
 
 
 class Catalog:
-    """Name → object maps with case-insensitive lookup."""
+    """Name → object maps with case-insensitive lookup.
+
+    Every mutation logs its inverse through ``txn`` (the owning
+    database's transaction manager) so DDL participates in statement
+    and transaction rollback, and may be aborted by an armed fault plan
+    before it takes effect.
+    """
+
+    # default until a Database attaches its TransactionManager
+    txn = None
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
@@ -52,9 +61,22 @@ class Catalog:
         # are exempt — plans validate their schema at run time instead.
         self.schema_version = 0
 
+    def _guard(self, site: str, name: str, entry_tag: str, key: str, old: object) -> None:
+        """Fault-check then log one catalog mutation's inverse."""
+        txn = self.txn
+        if txn is None:
+            return
+        if txn.fault_plan is not None:
+            txn.fault_plan.hit(site, name)
+        if txn.logging:
+            txn.log.append((entry_tag, self, key, old, self.schema_version))
+
     def note_schema_change(self) -> None:
         """Invalidate compiled plans after an out-of-band schema change
         (e.g. the stratum appending timestamp columns for ADD VALIDTIME)."""
+        txn = self.txn
+        if txn is not None and txn.logging:
+            txn.log.append(("cat_schema", self, self.schema_version))
         self.schema_version += 1
 
     # -- tables ---------------------------------------------------------
@@ -63,6 +85,9 @@ class Catalog:
         key = table.name.lower()
         if not replace and (key in self._tables or key in self._views):
             raise CatalogError(f"table or view {table.name} already exists")
+        self._guard("catalog.add_table", table.name, "cat_table", key,
+                    self._tables.get(key))
+        table.txn = self.txn
         self._tables[key] = table
         if not table.temporary:
             self.schema_version += 1
@@ -77,9 +102,12 @@ class Catalog:
         return name.lower() in self._tables
 
     def drop_table(self, name: str) -> None:
-        table = self._tables.pop(name.lower(), None)
+        key = name.lower()
+        table = self._tables.get(key)
         if table is None:
             raise CatalogError(f"no such table: {name}")
+        self._guard("catalog.drop_table", name, "cat_table", key, table)
+        del self._tables[key]
         if not table.temporary:
             self.schema_version += 1
 
@@ -92,6 +120,7 @@ class Catalog:
         key = name.lower()
         if not replace and (key in self._views or key in self._tables):
             raise CatalogError(f"table or view {name} already exists")
+        self._guard("catalog.add_view", name, "cat_view", key, self._views.get(key))
         self._views[key] = select
         self.schema_version += 1
 
@@ -102,8 +131,12 @@ class Catalog:
         return name.lower() in self._views
 
     def drop_view(self, name: str) -> None:
-        if self._views.pop(name.lower(), None) is None:
+        key = name.lower()
+        select = self._views.get(key)
+        if select is None:
             raise CatalogError(f"no such view: {name}")
+        self._guard("catalog.drop_view", name, "cat_view", key, select)
+        del self._views[key]
         self.schema_version += 1
 
     # -- routines -------------------------------------------------------
@@ -113,6 +146,7 @@ class Catalog:
         if not replace and key in self._routines:
             raise CatalogError(f"routine {routine.name} already exists")
         existing = self._routines.get(key)
+        self._guard("catalog.add_routine", routine.name, "cat_routine", key, existing)
         self._routines[key] = routine
         if existing is None or existing.definition is not routine.definition:
             self.schema_version += 1
@@ -127,8 +161,12 @@ class Catalog:
         return name.lower() in self._routines
 
     def drop_routine(self, name: str) -> None:
-        if self._routines.pop(name.lower(), None) is None:
+        key = name.lower()
+        routine = self._routines.get(key)
+        if routine is None:
             raise CatalogError(f"no such routine: {name}")
+        self._guard("catalog.drop_routine", name, "cat_routine", key, routine)
+        del self._routines[key]
         self.schema_version += 1
 
     def routines(self) -> list[Routine]:

@@ -15,6 +15,7 @@ from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor, ResultSet
 from repro.sqlengine.parser import parse_script, parse_statement
+from repro.sqlengine.txn import TransactionManager
 from repro.sqlengine.values import Date
 
 
@@ -31,6 +32,7 @@ class EngineStats:
     plan_cache_hits: int = 0
     transforms: int = 0
     transform_cache_hits: int = 0
+    rollbacks: int = 0
 
     def reset(self) -> None:
         self.statements = 0
@@ -42,6 +44,7 @@ class EngineStats:
         self.plan_cache_hits = 0
         self.transforms = 0
         self.transform_cache_hits = 0
+        self.rollbacks = 0
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -53,6 +56,7 @@ class EngineStats:
             "plan_cache_hits": self.plan_cache_hits,
             "transforms": self.transforms,
             "transform_cache_hits": self.transform_cache_hits,
+            "rollbacks": self.rollbacks,
         }
 
 
@@ -92,6 +96,21 @@ class PlanCache:
     def drop(self, stmt: ast.Statement) -> None:
         self._entries.pop(id(stmt), None)
 
+    def evict_newer(self, schema_version: int) -> None:
+        """Drop entries bound after ``schema_version``.
+
+        Called after a rollback restores the catalog's version counter:
+        an entry stored during the rolled-back window would otherwise
+        falsely revalidate once later DDL pushes the counter back up to
+        the version it was bound at.
+        """
+        stale = [
+            key for key, (_, version, _) in self._entries.items()
+            if version > schema_version
+        ]
+        for key in stale:
+            del self._entries[key]
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -124,6 +143,10 @@ class Database:
         self.plan_cache = PlanCache()
         self.expr_cache: dict = {}
         self.plan_caching_enabled = True
+        # undo-log transaction manager: statement guards, explicit
+        # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
+        self.txn = TransactionManager(self)
+        self.catalog.txn = self.txn
 
     # -- execution -------------------------------------------------------
 
@@ -136,15 +159,23 @@ class Database:
         return self.execute_ast(parse_statement(sql))
 
     def execute_ast(self, stmt: ast.Statement) -> Any:
+        if isinstance(stmt, ast.TransactionStatement):
+            return self.txn.execute_statement(stmt)
         self.table_function_cache.clear()
+        token = self.txn.mark()  # implicit statement-level atomicity
         try:
-            return self._executor.execute(stmt)
+            result = self._executor.execute(stmt)
+        except BaseException:
+            self.txn.rollback_to(token)
+            raise
         finally:
             self.table_function_cache.clear()
+        self.txn.release(token)
+        return result
 
     def execute_script(self, sql: str) -> list[Any]:
         """Execute a semicolon-separated script; returns per-statement results."""
-        return [self._executor.execute(stmt) for stmt in parse_script(sql)]
+        return [self.execute_ast(stmt) for stmt in parse_script(sql)]
 
     def query(self, sql: str) -> ResultSet:
         """Execute a statement that must produce a result set."""

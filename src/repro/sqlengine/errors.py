@@ -47,6 +47,22 @@ class CardinalityError(ExecutionError):
     """Raised when a scalar subquery or row SELECT yields more than one row."""
 
 
+class SignalError(ExecutionError):
+    """Raised by ``SIGNAL SQLSTATE '...'`` — an explicitly raised
+    condition, catchable by ``DECLARE ... HANDLER FOR SQLSTATE '...'``
+    (or a generic SQLEXCEPTION handler)."""
+
+    def __init__(self, sqlstate: str, message: "str | None" = None) -> None:
+        super().__init__(message if message is not None else f"SQLSTATE {sqlstate}")
+        self.sqlstate = sqlstate
+        self.message = message
+
+
+class FaultInjected(ExecutionError):
+    """Raised by an armed :class:`~repro.sqlengine.txn.FaultPlan` — the
+    fault-injection harness's stand-in for a mid-statement crash."""
+
+
 class RoutineError(ExecutionError):
     """Raised for errors inside stored-routine execution."""
 

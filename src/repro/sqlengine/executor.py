@@ -19,6 +19,7 @@ from repro.sqlengine.errors import (
     DivisionByZeroError,
     ExecutionError,
     PlanInvalidated,
+    SignalError,
     SqlError,
     TypeError_,
 )
@@ -205,6 +206,10 @@ class Executor:
             raise ExecutionError(
                 "ALTER TABLE ... ADD VALIDTIME requires the temporal stratum"
             )
+        if isinstance(stmt, ast.TransactionStatement):
+            return self.db.txn.execute_statement(stmt)
+        if isinstance(stmt, ast.SignalStatement):
+            raise SignalError(stmt.sqlstate, stmt.message)
         if isinstance(stmt, ast.PsmStatement):
             raise ExecutionError(
                 f"{type(stmt).__name__} is only valid inside a routine body"
@@ -856,20 +861,22 @@ class Executor:
 
     def _insert_interpreted(self, stmt: ast.Insert, env: Optional[Env]) -> int:
         table = self._resolve_table(stmt.table, env)
-        count = 0
         if stmt.select is not None:
             result = self.execute_select(stmt.select, env)
-            for row in result.rows:
-                table.insert(row, stmt.columns)
-                count += 1
+            source_rows = result.rows
         else:
             eval_env = env if env is not None else Env()
-            for value_row in stmt.values or []:
-                values = [self.evaluate(e, eval_env) for e in value_row]
-                table.insert(values, stmt.columns)
-                count += 1
-        self.db.stats.rows_written += count
-        return count
+            source_rows = [
+                [self.evaluate(e, eval_env) for e in value_row]
+                for value_row in stmt.values or []
+            ]
+        # validate every row before appending any: a NOT NULL or
+        # coercion failure on row N must not keep rows 1..N-1
+        prepared = [table.prepare_row(values, stmt.columns) for values in source_rows]
+        for row in prepared:
+            table.append_row(row)
+        self.db.stats.rows_written += len(prepared)
+        return len(prepared)
 
     def execute_update(self, stmt: ast.Update, env: Optional[Env]) -> int:
         return self._run_dml(stmt, env, self._update_interpreted)

@@ -162,6 +162,10 @@ class Parser:
             stmt = self.alter_statement()
         elif word == "CALL":
             stmt = self.call_statement()
+        elif word in ("START", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE"):
+            stmt = self.transaction_statement()
+        elif word == "BEGIN" and self._begin_is_transaction():
+            stmt = self.transaction_statement()
         else:
             stmt = self.psm_statement()
         if modifier is not None:
@@ -169,6 +173,75 @@ class Parser:
                 raise self.error("temporal modifier not allowed here")
             stmt.modifier = modifier
         return stmt
+
+    def _begin_is_transaction(self) -> bool:
+        """Disambiguate ``BEGIN`` (transaction) from ``BEGIN ... END``
+        (PSM compound): transactional only when followed by a statement
+        boundary, ``WORK``, or ``TRANSACTION``."""
+        nxt = self.peek(1)
+        if nxt.kind is TokenKind.EOF or nxt.matches(TokenKind.PUNCT, ";"):
+            return True
+        if nxt.is_keyword("TRANSACTION"):
+            return True
+        return nxt.kind is TokenKind.IDENT and nxt.value.upper() == "WORK"
+
+    def _accept_soft_ident(self, word: str) -> bool:
+        """Consume a non-reserved word (e.g. WORK, TO) if present."""
+        token = self.peek()
+        if token.kind is TokenKind.IDENT and token.value.upper() == word:
+            self.advance()
+            return True
+        return False
+
+    def transaction_statement(self) -> ast.TransactionStatement:
+        word = self.advance().value
+        if word == "START":
+            self.expect_keyword("TRANSACTION")
+            return ast.TransactionStatement(action="BEGIN")
+        if word == "BEGIN":
+            if not self.accept_keyword("TRANSACTION"):
+                self._accept_soft_ident("WORK")
+            return ast.TransactionStatement(action="BEGIN")
+        if word == "COMMIT":
+            self._accept_soft_ident("WORK")
+            return ast.TransactionStatement(action="COMMIT")
+        if word == "SAVEPOINT":
+            return ast.TransactionStatement(
+                action="SAVEPOINT", name=self.expect_ident()
+            )
+        if word == "RELEASE":
+            self.expect_keyword("SAVEPOINT")
+            return ast.TransactionStatement(
+                action="RELEASE SAVEPOINT", name=self.expect_ident()
+            )
+        # ROLLBACK [WORK] [TO [SAVEPOINT] name]
+        self._accept_soft_ident("WORK")
+        if self._accept_soft_ident("TO"):
+            self.accept_keyword("SAVEPOINT")
+            return ast.TransactionStatement(
+                action="ROLLBACK TO SAVEPOINT", name=self.expect_ident()
+            )
+        return ast.TransactionStatement(action="ROLLBACK")
+
+    def signal_statement(self) -> ast.SignalStatement:
+        self.expect_keyword("SIGNAL")
+        self.expect_keyword("SQLSTATE")
+        token = self.peek()
+        if token.kind is not TokenKind.STRING:
+            raise self.error("expected a quoted SQLSTATE value")
+        self.advance()
+        message = None
+        if self.accept_keyword("SET"):
+            if self.expect_ident().upper() != "MESSAGE_TEXT":
+                raise self.error("expected MESSAGE_TEXT")
+            if not self.accept_operator("="):
+                raise self.error("expected = after MESSAGE_TEXT")
+            mtoken = self.peek()
+            if mtoken.kind is not TokenKind.STRING:
+                raise self.error("expected a string message")
+            self.advance()
+            message = mtoken.value
+        return ast.SignalStatement(sqlstate=token.value, message=message)
 
     def temporal_modifier(self) -> Optional[ast.TemporalModifier]:
         if self.accept_keyword("NONSEQUENCED"):
@@ -641,8 +714,11 @@ class Parser:
             return ast.CloseCursor(name=self.expect_ident())
         if word == "CALL":
             return self.call_statement()
+        if word == "SIGNAL":
+            return self.signal_statement()
         if word in ("SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP",
-                    "VALIDTIME", "NONSEQUENCED", "TRANSACTIONTIME"):
+                    "VALIDTIME", "NONSEQUENCED", "TRANSACTIONTIME",
+                    "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE", "START"):
             return self.statement()
         raise self.error("expected a PSM statement")
 
@@ -765,7 +841,7 @@ class Parser:
             token = self.advance()
             return f"SQLSTATE {token.value}"
         token = self.advance()
-        return token.value  # SQLEXCEPTION etc. lex as IDENT
+        return token.value.upper()  # SQLEXCEPTION etc. lex as IDENT
 
     def set_statement(self) -> ast.SetStatement:
         self.expect_keyword("SET")

@@ -775,20 +775,21 @@ class InsertPlan:
         table = executor._resolve_table(self.table, env)
         if table._index != self.expected:
             raise PlanInvalidated(self.table)
-        count = 0
         if self.select is not None:
             result = executor.execute_select(self.select, env)
-            for row in result.rows:
-                table.insert(row, self.columns)
-                count += 1
+            source_rows = result.rows
         else:
             eval_env = env if env is not None else Env()
-            for row_cs in self.value_rows:
-                values = [c(eval_env) for c in row_cs]
-                table.insert(values, self.columns)
-                count += 1
-        executor.db.stats.rows_written += count
-        return count
+            source_rows = [
+                [c(eval_env) for c in row_cs] for row_cs in self.value_rows
+            ]
+        # validate every row before appending any, so a failure on row N
+        # does not leave rows 1..N-1 behind
+        prepared = [table.prepare_row(values, self.columns) for values in source_rows]
+        for row in prepared:
+            table.append_row(row)
+        executor.db.stats.rows_written += len(prepared)
+        return len(prepared)
 
 
 def _build_insert(executor: Executor, stmt: ast.Insert, env: Optional[Env]) -> InsertPlan:

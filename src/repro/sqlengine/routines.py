@@ -18,6 +18,8 @@ from repro.sqlengine.errors import (
     CursorError,
     ExecutionError,
     RoutineError,
+    SignalError,
+    SqlError,
 )
 from repro.sqlengine.executor import Binding, Env, Executor, ResultSet
 from repro.sqlengine.storage import Column, Table
@@ -40,6 +42,13 @@ class _Iterate(Exception):
         self.label = label
 
 
+class _HandlerExit(Exception):
+    """Unwinds to the compound whose scope declared an EXIT handler."""
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+
+
 class _CursorState:
     __slots__ = ("select", "rows", "columns", "position", "is_open")
 
@@ -52,13 +61,14 @@ class _CursorState:
 
 
 class _Handler:
-    __slots__ = ("kind", "condition", "action", "depth")
+    __slots__ = ("kind", "condition", "action", "depth", "active")
 
     def __init__(self, kind: str, condition: str, action: ast.Statement, depth: int) -> None:
         self.kind = kind
         self.condition = condition
         self.action = action
         self.depth = depth
+        self.active = False  # True while the handler's action runs
 
 
 class Frame:
@@ -160,8 +170,10 @@ class Frame:
         )
 
     def find_handler(self, condition: str) -> Optional[_Handler]:
+        # skip handlers whose action is currently running, so an error
+        # raised inside a handler cannot re-enter the same handler
         for handler in reversed(self.handlers):
-            if handler.condition == condition:
+            if handler.condition == condition and not handler.active:
                 return handler
         return None
 
@@ -291,10 +303,41 @@ class RoutineInterpreter:
             )
         self.db.stats.statements += 1
         self.db.stats.call_depth += 1
+        txn = self.db.txn
+        token = txn.mark()
         try:
             self._dispatch(stmt, frame)
+        except SqlError as exc:
+            # revert this statement's partial effects, then look for a
+            # declared handler; an unhandled condition cascades up one
+            # statement guard at a time, so the whole routine unwinds
+            txn.rollback_to(token)
+            self._handle_exception(exc, frame)
+        except BaseException:
+            # control-flow signals (_Return, _Leave, _HandlerExit, ...)
+            # are not failures: keep the statement's effects
+            txn.release(token)
+            raise
+        else:
+            txn.release(token)
         finally:
             self.db.stats.call_depth -= 1
+
+    def _handle_exception(self, exc: SqlError, frame: Frame) -> None:
+        handler = None
+        if isinstance(exc, SignalError):
+            handler = frame.find_handler(f"SQLSTATE {exc.sqlstate}")
+        if handler is None:
+            handler = frame.find_handler("SQLEXCEPTION")
+        if handler is None:
+            raise exc
+        handler.active = True
+        try:
+            self.execute_statement(handler.action, frame)
+        finally:
+            handler.active = False
+        if handler.kind == "EXIT":
+            raise _HandlerExit(handler.depth)
 
     def _dispatch(self, stmt: ast.Statement, frame: Frame) -> None:
         env = Env(frame=frame)
@@ -349,6 +392,12 @@ class RoutineInterpreter:
             self.executor.execute(stmt, env)
         elif isinstance(stmt, (ast.CreateTable, ast.DropTable)):
             self.executor.execute(stmt, env)
+        elif isinstance(stmt, ast.SignalStatement):
+            raise SignalError(stmt.sqlstate, stmt.message)
+        elif isinstance(stmt, ast.TransactionStatement):
+            raise RoutineError(
+                "transaction control statements are not allowed inside routines"
+            )
         else:
             raise RoutineError(
                 f"unsupported statement in routine body: {type(stmt).__name__}"
@@ -358,11 +407,15 @@ class RoutineInterpreter:
 
     def _execute_compound(self, stmt: ast.Compound, frame: Frame) -> None:
         frame.push_scope()
+        depth = len(frame.scopes)  # handlers declared here record this depth
         try:
             for declaration in stmt.declarations:
                 self.execute_statement(declaration, frame)
             for inner in stmt.statements:
                 self.execute_statement(inner, frame)
+        except _HandlerExit as exit_:
+            if exit_.depth != depth:
+                raise
         finally:
             frame.pop_scope()
 

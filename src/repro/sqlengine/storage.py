@@ -36,7 +36,19 @@ class Column:
 
 
 class Table:
-    """A heap table: column metadata plus a list of row lists."""
+    """A heap table: column metadata plus a list of row lists.
+
+    Every mutating primitive consults ``txn`` (the owning database's
+    :class:`~repro.sqlengine.txn.TransactionManager`, attached when the
+    table is registered in a catalog): while logging is active it
+    records an inverse operation, and an armed fault plan may abort the
+    primitive *before* it mutates anything.  Unregistered tables
+    (routine variable tables, result scratch) carry ``txn = None`` and
+    pay nothing.
+    """
+
+    # default for tables never registered in a catalog
+    txn = None
 
     def __init__(self, name: str, columns: Sequence[Column], temporary: bool = False) -> None:
         self.name = name
@@ -75,8 +87,15 @@ class Table:
 
     # -- data ---------------------------------------------------------------
 
-    def insert(self, values: Sequence[Any], columns: Optional[Sequence[str]] = None) -> None:
-        """Insert one row; missing columns get NULL, values are coerced."""
+    def prepare_row(
+        self, values: Sequence[Any], columns: Optional[Sequence[str]] = None
+    ) -> list[Any]:
+        """Coerce and validate one row without storing it.
+
+        Multi-row INSERT prepares every row through this before
+        appending any, so a NOT NULL or coercion failure on row N
+        cannot leave rows 1..N-1 behind.
+        """
         if columns is None:
             if len(values) != len(self.columns):
                 raise ExecutionError(
@@ -102,8 +121,22 @@ class Table:
                 raise ExecutionError(
                     f"NULL not allowed in {self.name}.{column.name}"
                 )
+        return row
+
+    def append_row(self, row: list[Any]) -> None:
+        """Append a prepared row (see :meth:`prepare_row`); logs undo."""
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.insert", self.name)
+            if txn.logging:
+                txn.log.append(("ins", self, self.version))
         self.rows.append(row)
         self.version += 1
+
+    def insert(self, values: Sequence[Any], columns: Optional[Sequence[str]] = None) -> None:
+        """Insert one row; missing columns get NULL, values are coerced."""
+        self.append_row(self.prepare_row(values, columns))
 
     def scan(self) -> Iterator[list[Any]]:
         """Iterate over rows.  Callers must not mutate yielded lists."""
@@ -111,10 +144,17 @@ class Table:
 
     def delete_where(self, predicate: Callable[[list[Any]], bool]) -> int:
         """Delete rows matching ``predicate``; returns the count removed."""
-        kept = [row for row in self.rows if not predicate(row)]
-        removed = len(self.rows) - len(kept)
-        self.rows = kept
+        txn = self.txn
+        if txn is not None and txn.fault_plan is not None:
+            txn.fault_plan.hit("table.delete", self.name)
+        old_rows = self.rows
+        kept = [row for row in old_rows if not predicate(row)]
+        removed = len(old_rows) - len(kept)
         if removed:
+            if txn is not None and txn.logging:
+                # the displaced list object is the inverse
+                txn.log.append(("rows", self, self.version, old_rows))
+            self.rows = kept
             self.version += 1
         return removed
 
@@ -125,22 +165,101 @@ class Table:
     ) -> int:
         """Update matching rows in place; returns the count updated.
 
-        ``updater`` receives the *pre-update* row and returns a mapping of
-        column index to new (already evaluated) value; coercion applies.
+        ``updater`` receives the *pre-update* row and returns a mapping
+        of column index to new (already evaluated) value; coercion
+        applies.  All of a row's new values are coerced before any is
+        written, so a coercion failure leaves the row untouched.
         """
+        txn = self.txn
+        if txn is not None and txn.fault_plan is not None:
+            txn.fault_plan.hit("table.update", self.name)
+        log = txn.log if txn is not None and txn.logging else None
         count = 0
         for row in self.rows:
             if predicate(row):
-                changes = updater(row)
-                for index, value in changes.items():
-                    row[index] = coerce(value, self.columns[index].type)
+                staged = [
+                    (index, coerce(value, self.columns[index].type))
+                    for index, value in updater(row).items()
+                ]
+                if log is not None:
+                    log.append((
+                        "upd", self, self.version, row,
+                        [(index, row[index]) for index, _ in staged],
+                    ))
+                for index, value in staged:
+                    row[index] = value
                 count += 1
         if count:
             self.version += 1
         return count
 
+    def set_cell(self, row: list[Any], index: int, value: Any) -> None:
+        """Overwrite one cell of a live row (temporal current semantics)."""
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.set_cell", self.name)
+            if txn.logging:
+                txn.log.append(("cell", self, self.version, row, index, row[index]))
+        row[index] = value
+        self.version += 1
+
+    def write_row(self, row: list[Any], values: Sequence[Any]) -> None:
+        """Overwrite a live row wholesale (already evaluated values)."""
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.update", self.name)
+            if txn.logging:
+                txn.log.append((
+                    "upd", self, self.version, row, list(enumerate(row)),
+                ))
+        row[:] = values
+        self.version += 1
+
+    def replace_rows(self, new_rows: list[list[Any]]) -> None:
+        """Swap in a rebuilt row list (bulk delete / reorder)."""
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.replace_rows", self.name)
+            if txn.logging:
+                txn.log.append(("rows", self, self.version, self.rows))
+        self.rows = new_rows
+        self.version += 1
+
     def truncate(self) -> None:
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.truncate", self.name)
+            if txn.logging and self.rows:
+                txn.log.append(("rows", self, self.version, self.rows))
         self.rows = []
+        self.version += 1
+
+    def add_column(self, column: Column, default: Any = Null) -> None:
+        """Append a column, back-filling existing rows with ``default``.
+
+        Keeps ``_index`` and the hash-index bookkeeping consistent — the
+        supported way to widen a table (the temporal stratum uses it for
+        ``ADD VALIDTIME`` / ``ADD TRANSACTIONTIME`` migrations).
+        """
+        key = column.name.lower()
+        if key in self._index:
+            raise CatalogError(
+                f"table {self.name} already has column {column.name!r}"
+            )
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.add_column", self.name)
+            if txn.logging:
+                txn.log.append(("addcol", self, self.version, len(self.columns)))
+        self.columns.append(column)
+        self._index[key] = len(self.columns) - 1
+        for row in self.rows:
+            row.append(default)
         self.version += 1
 
     def hash_index(self, column_index: int) -> dict:

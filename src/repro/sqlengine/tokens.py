@@ -46,7 +46,9 @@ KEYWORDS = frozenset(
         "LEAVE", "ITERATE", "CALL", "CURSOR", "OPEN", "FETCH", "CLOSE",
         "LANGUAGE", "SQL", "READS", "MODIFIES", "CONTAINS", "DATA",
         "DETERMINISTIC", "HANDLER", "CONTINUE", "EXIT", "FOUND", "SQLSTATE",
-        "CONDITION", "OUT", "INOUT", "ATOMIC", "ELSE",
+        "CONDITION", "OUT", "INOUT", "ATOMIC", "ELSE", "SIGNAL",
+        # transaction control ("TO" and "WORK" stay soft identifiers)
+        "START", "TRANSACTION", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE",
         # misc
         "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
         # temporal (recognised by the stratum's parser extension; the

@@ -1,0 +1,321 @@
+"""Undo-log transaction manager.
+
+The engine gains atomicity from a single physical undo log shared by
+every layer: each mutating primitive in :class:`~repro.sqlengine.storage.Table`,
+:class:`~repro.sqlengine.catalog.Catalog` and the stratum's temporal
+registries appends an inverse operation while logging is active.  A
+*mark* is an index into that log; rolling back to a mark applies the
+entries above it in reverse and restores the version counters the
+bind/plan caches key on.
+
+Marks nest freely on one stack:
+
+* :class:`~repro.sqlengine.engine.Database` wraps every top-level
+  statement in an anonymous mark (implicit statement atomicity);
+* the temporal stratum wraps each temporal statement, covering the MAX
+  per-period CALL loop and PERST delete+insert pairs;
+* the PSM interpreter wraps every routine statement so handlers can
+  revert exactly the failing statement;
+* ``SAVEPOINT name`` pushes a named mark inside an explicit transaction.
+
+Outside an explicit transaction the log is discarded as soon as the last
+mark is released, so bulk loads and committed statements cost one list
+append per mutation and nothing is retained.
+
+Undo application manipulates the raw storage structures directly —
+never the logging primitives — so rollback cannot re-log or re-trigger
+an injected fault.  Version counters are *restored* (not bumped) so
+plan/transform/hash-index caches built before the rolled-back window
+keep hitting; cache entries created during the window are evicted
+explicitly (see :meth:`TransactionManager._after_rollback`) because a
+restored counter could otherwise climb back to the same value over a
+different schema and alias them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sqlengine.errors import ExecutionError, FaultInjected
+
+
+class FaultPlan:
+    """Deterministic fault injection: fail the Nth mutation at a site.
+
+    ``site`` is a primitive tag such as ``"table.insert"`` or
+    ``"catalog.add_table"``; ``target`` optionally restricts to one
+    object name.  The fault fires once (``at``-th match) and then stays
+    spent, so re-running the statement after a crash succeeds without
+    clearing the plan.  Primitives consult the plan *before* mutating,
+    so a fired fault leaves that primitive un-applied.
+    """
+
+    __slots__ = ("site", "target", "at", "hits", "fired")
+
+    def __init__(self, site: str, target: Optional[str] = None, at: int = 1) -> None:
+        self.site = site
+        self.target = target.lower() if target is not None else None
+        self.at = at
+        self.hits = 0
+        self.fired = False
+
+    def hit(self, site: str, target: str) -> None:
+        """Count a mutation; raise :class:`FaultInjected` on the Nth match."""
+        if self.fired or site != self.site:
+            return
+        if self.target is not None and target.lower() != self.target:
+            return
+        self.hits += 1
+        if self.hits >= self.at:
+            self.fired = True
+            raise FaultInjected(
+                f"injected fault at {site} on {target!r} (match #{self.hits})"
+            )
+
+
+class _Mark:
+    """A savepoint: an index into the undo log, optionally named."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: Optional[str], index: int) -> None:
+        self.name = name
+        self.index = index
+
+
+def _restore_table_version(table, version: int) -> None:
+    """Reset a table's version, evicting hash indexes built later.
+
+    A restored counter can climb back to the same value over different
+    rows, so any index built during the rolled-back window must go.
+    """
+    table.version = version
+    indexes = table._hash_indexes
+    stale = [key for key, (built, _) in indexes.items() if built > version]
+    for key in stale:
+        del indexes[key]
+
+
+def _apply_undo(entry: tuple) -> None:
+    """Apply one inverse operation (raw structures, never primitives)."""
+    tag = entry[0]
+    if tag == "ins":
+        _, table, version = entry
+        table.rows.pop()
+        _restore_table_version(table, version)
+    elif tag == "upd":
+        _, table, version, row, old_cells = entry
+        for index, value in old_cells:
+            row[index] = value
+        _restore_table_version(table, version)
+    elif tag == "cell":
+        _, table, version, row, index, value = entry
+        row[index] = value
+        _restore_table_version(table, version)
+    elif tag == "rows":
+        # delete_where / replace_rows / truncate reassign the row list,
+        # so the inverse is simply the displaced list object
+        _, table, version, old_rows = entry
+        table.rows = old_rows
+        _restore_table_version(table, version)
+    elif tag == "addcol":
+        _, table, version, ncols = entry
+        for column in table.columns[ncols:]:
+            table._index.pop(column.name.lower(), None)
+        del table.columns[ncols:]
+        for row in table.rows:
+            del row[ncols:]
+        _restore_table_version(table, version)
+    elif tag == "cat_table":
+        _, catalog, key, old_value, old_version = entry
+        if old_value is None:
+            catalog._tables.pop(key, None)
+        else:
+            catalog._tables[key] = old_value
+        catalog.schema_version = old_version
+    elif tag == "cat_view":
+        _, catalog, key, old_value, old_version = entry
+        if old_value is None:
+            catalog._views.pop(key, None)
+        else:
+            catalog._views[key] = old_value
+        catalog.schema_version = old_version
+    elif tag == "cat_routine":
+        _, catalog, key, old_value, old_version = entry
+        if old_value is None:
+            catalog._routines.pop(key, None)
+        else:
+            catalog._routines[key] = old_value
+        catalog.schema_version = old_version
+    elif tag == "cat_schema":
+        _, catalog, old_version = entry
+        catalog.schema_version = old_version
+    elif tag == "reg":
+        # temporal registry add/remove.  The registry version is bumped,
+        # not restored: its transform-cache keys have no per-entry
+        # version gate, so a restored counter could alias an entry built
+        # over a different registration set.
+        _, registry, key, old_info = entry
+        if old_info is None:
+            registry._tables.pop(key, None)
+        else:
+            registry._tables[key] = old_info
+        registry.version += 1
+    else:  # pragma: no cover - exhaustive over logged tags
+        raise AssertionError(f"unknown undo entry {tag!r}")
+
+
+class TransactionManager:
+    """The database's undo log, mark stack, and explicit-transaction state.
+
+    ``logging`` is maintained as a plain attribute (true while a mark is
+    open or an explicit transaction is in progress) so the storage
+    primitives pay two attribute loads, not a property call, per
+    mutation.
+    """
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.log: list[tuple] = []
+        self.marks: list[_Mark] = []
+        self.explicit = False
+        self.logging = False
+        self.fault_plan: Optional[FaultPlan] = None
+        # callbacks run after any rollback that applied undo entries;
+        # the stratum registers one to purge transform-cache entries
+        # stored during the rolled-back window
+        self.rollback_hooks: list[Callable[[], None]] = []
+
+    # -- marks (internal savepoints) ------------------------------------
+
+    def mark(self, name: Optional[str] = None) -> _Mark:
+        mark = _Mark(name, len(self.log))
+        self.marks.append(mark)
+        self.logging = True
+        return mark
+
+    def release(self, mark: _Mark) -> None:
+        """Discard ``mark`` (and anything nested inside it), keeping effects."""
+        while self.marks:
+            top = self.marks.pop()
+            if top is mark:
+                break
+        if not self.marks:
+            self.logging = self.explicit
+            if not self.explicit:
+                self.log.clear()
+
+    def rollback_to(self, mark: _Mark, keep: bool = False) -> None:
+        """Undo every entry logged since ``mark``.
+
+        Marks nested inside it are destroyed; ``keep`` leaves the mark
+        itself on the stack (``ROLLBACK TO SAVEPOINT`` semantics).
+        """
+        while self.marks and self.marks[-1] is not mark:
+            self.marks.pop()
+        self._undo_to(mark.index)
+        if not keep and self.marks and self.marks[-1] is mark:
+            self.marks.pop()
+        if not self.marks:
+            self.logging = self.explicit
+            if not self.explicit:
+                self.log.clear()
+
+    def _undo_to(self, index: int) -> None:
+        if len(self.log) <= index:
+            return
+        log = self.log
+        while len(log) > index:
+            _apply_undo(log.pop())
+        self._after_rollback()
+
+    def _after_rollback(self) -> None:
+        """Evict cache entries created during the rolled-back window.
+
+        The plan cache keys on the catalog schema version, which rollback
+        just restored — entries bound at a higher version would falsely
+        revalidate once DDL pushes the counter back up.
+        """
+        db = self.db
+        db.stats.rollbacks += 1
+        db.plan_cache.evict_newer(db.catalog.schema_version)
+        for hook in self.rollback_hooks:
+            hook()
+
+    # -- explicit transactions ------------------------------------------
+
+    def begin(self) -> None:
+        if self.explicit:
+            raise ExecutionError("a transaction is already in progress")
+        self.explicit = True
+        self.logging = True
+
+    def commit(self) -> None:
+        if not self.explicit:
+            raise ExecutionError("COMMIT: no transaction in progress")
+        self.explicit = False
+        self.marks.clear()
+        self.log.clear()
+        self.logging = False
+
+    def rollback(self) -> None:
+        if not self.explicit:
+            raise ExecutionError("ROLLBACK: no transaction in progress")
+        self.marks.clear()
+        self._undo_to(0)
+        self.explicit = False
+        self.log.clear()
+        self.logging = False
+
+    def savepoint(self, name: str) -> None:
+        if not self.explicit:
+            raise ExecutionError("SAVEPOINT requires an active transaction")
+        self.mark(name.lower())
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        self.rollback_to(self._find_savepoint(name), keep=True)
+
+    def release_savepoint(self, name: str) -> None:
+        self.release(self._find_savepoint(name))
+
+    def _find_savepoint(self, name: str) -> _Mark:
+        key = name.lower()
+        for mark in reversed(self.marks):
+            if mark.name == key:
+                return mark
+        raise ExecutionError(f"no such savepoint: {name}")
+
+    # -- statement dispatch ---------------------------------------------
+
+    def execute_statement(self, stmt) -> None:
+        """Execute a parsed :class:`~repro.sqlengine.ast_nodes.TransactionStatement`."""
+        action = stmt.action
+        if action == "BEGIN":
+            self.begin()
+        elif action == "COMMIT":
+            self.commit()
+        elif action == "ROLLBACK":
+            self.rollback()
+        elif action == "SAVEPOINT":
+            self.savepoint(stmt.name)
+        elif action == "ROLLBACK TO SAVEPOINT":
+            self.rollback_to_savepoint(stmt.name)
+        elif action == "RELEASE SAVEPOINT":
+            self.release_savepoint(stmt.name)
+        else:  # pragma: no cover - parser emits only the above
+            raise ExecutionError(f"unknown transaction action {action!r}")
+        return None
+
+    # -- statement guard -------------------------------------------------
+
+    def run_atomic(self, thunk: Callable[[], Any]) -> Any:
+        """Run ``thunk`` under a fresh mark: release on success, roll
+        back on any exception (including non-SQL errors)."""
+        token = self.mark()
+        try:
+            result = thunk()
+        except BaseException:
+            self.rollback_to(token)
+            raise
+        self.release(token)
+        return result

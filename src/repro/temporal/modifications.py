@@ -135,9 +135,12 @@ def _sequenced_delete(
             part[begin_index] = Date(kept.begin)
             part[end_index] = Date(kept.end)
             additions.append(part)
-    table.rows = [row for row in table.rows if id(row) not in to_remove]
-    table.rows.extend(additions)
-    table.version += 1
+    if matches:
+        table.replace_rows(
+            [row for row in table.rows if id(row) not in to_remove]
+        )
+        for part in additions:
+            table.append_row(part)
     db.stats.rows_written += len(matches) + len(additions)
     return len(matches)
 
@@ -176,9 +179,12 @@ def _sequenced_update(
             part[begin_index] = Date(kept.begin)
             part[end_index] = Date(kept.end)
             additions.append(part)
-    table.rows = [row for row in table.rows if id(row) not in to_remove]
-    table.rows.extend(additions)
-    table.version += 1
+    if matches:
+        table.replace_rows(
+            [row for row in table.rows if id(row) not in to_remove]
+        )
+        for part in additions:
+            table.append_row(part)
     db.stats.rows_written += len(additions)
     return len(matches)
 

@@ -42,11 +42,16 @@ class TemporalRegistry:
     registry they are handed.
     """
 
+    # the owning database's TransactionManager (attached by the stratum)
+    txn = None
+
     def __init__(self) -> None:
         self._tables: dict[str, TemporalTableInfo] = {}
         # bumped whenever the set of temporal tables changes; the
         # stratum's transform cache keys on it so a registration change
-        # can never serve a stale transformation
+        # can never serve a stale transformation.  On rollback the
+        # counter keeps climbing (never restored) so a cache key can
+        # never alias across an undone registration.
         self.version = 0
 
     def add(self, info: TemporalTableInfo, table: Table) -> None:
@@ -60,12 +65,28 @@ class TemporalRegistry:
                 raise CatalogError(
                     f"timestamp column {info.name}.{column} must be DATE"
                 )
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("registry.add", info.name)
+            if txn.logging:
+                txn.log.append(("reg", self, info.key, self._tables.get(info.key)))
         self._tables[info.key] = info
         self.version += 1
 
     def remove(self, name: str) -> None:
-        if self._tables.pop(name.lower(), None) is not None:
-            self.version += 1
+        key = name.lower()
+        info = self._tables.get(key)
+        if info is None:
+            return
+        txn = self.txn
+        if txn is not None:
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("registry.remove", name)
+            if txn.logging:
+                txn.log.append(("reg", self, key, info))
+        del self._tables[key]
+        self.version += 1
 
     def is_temporal(self, name: str) -> bool:
         return name.lower() in self._tables

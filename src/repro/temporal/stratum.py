@@ -127,6 +127,14 @@ class TemporalStratum:
         # transaction clock: None tracks db.now; set a past date for
         # time-travel ("as of") reads of transaction-time tables
         self.transaction_clock: Optional[Date] = None
+        # undo-log integration: registry changes are logged like catalog
+        # changes, and a rollback that restores the catalog's schema
+        # version must also drop transformations cached during the
+        # rolled-back window (they would falsely revalidate once later
+        # DDL pushes the version back up)
+        self.registry.txn = self.db.txn
+        self.tt_registry.txn = self.db.txn
+        self.db.txn.rollback_hooks.append(self._evict_stale_transforms)
 
     @property
     def clock(self) -> Date:
@@ -165,6 +173,15 @@ class TemporalStratum:
         self.db.stats.transform_cache_hits += 1
         return payload
 
+    def _evict_stale_transforms(self) -> None:
+        current = self.db.catalog.schema_version
+        stale = [
+            key for key, (version, _) in self._transform_cache.items()
+            if version > current
+        ]
+        for key in stale:
+            del self._transform_cache[key]
+
     def _transform_store(self, key: tuple, payload: Any) -> None:
         """Record a transformation against the *current* schema version —
         called after routine clones are installed, so the version already
@@ -196,6 +213,28 @@ class TemporalStratum:
         self,
         stmt: ast.Statement,
         strategy: SlicingStrategy = SlicingStrategy.AUTO,
+    ) -> Any:
+        if isinstance(stmt, ast.TransactionStatement):
+            return self.db.txn.execute_statement(stmt)
+        # one savepoint around the whole temporal statement: a sequenced
+        # statement expands into many engine statements (the MAX
+        # per-period CALL loop, PERST's delete+insert pairs, currency
+        # close+reinsert), and a failure partway through must not leave a
+        # partially-applied temporal operation behind
+        txn = self.db.txn
+        token = txn.mark()
+        try:
+            result = self._execute_ast_inner(stmt, strategy)
+        except BaseException:
+            txn.rollback_to(token)
+            raise
+        txn.release(token)
+        return result
+
+    def _execute_ast_inner(
+        self,
+        stmt: ast.Statement,
+        strategy: SlicingStrategy,
     ) -> Any:
         if isinstance(stmt, ast.AlterTable):
             if stmt.action == "ADD TRANSACTIONTIME":
@@ -230,11 +269,7 @@ class TemporalStratum:
             (info.end_column, Date(Date.MAX_ORDINAL)),
         ):
             if not table.has_column(column_name):
-                table.columns.append(Column(column_name, SqlType("DATE")))
-                table._index[column_name.lower()] = len(table.columns) - 1
-                for row in table.rows:
-                    row.append(default)
-                table.version += 1
+                table.add_column(Column(column_name, SqlType("DATE")), default)
                 columns_added = True
         if columns_added:
             # the table's shape changed out-of-band: compiled plans that
@@ -444,12 +479,10 @@ class TemporalStratum:
             new_row[end_index] = Date(Date.MAX_ORDINAL)
             if row[begin_index].ordinal == now.ordinal:
                 # row became valid today: overwrite in place
-                for i, value in enumerate(new_row):
-                    row[i] = value
+                table.write_row(row, new_row)
             else:
-                row[end_index] = now
+                table.set_cell(row, end_index, now)
                 table.insert(new_row)
-        table.version += 1
         self.db.stats.rows_written += len(matches)
         return len(matches)
 
@@ -469,6 +502,7 @@ class TemporalStratum:
         executor = self.db.executor
         env = Env()
         kept: list[list[Any]] = []
+        closed: list[list[Any]] = []
         count = 0
         for row in table.rows:
             begin, end = row[begin_index], row[end_index]
@@ -485,11 +519,13 @@ class TemporalStratum:
                 continue
             count += 1
             if begin.ordinal < now.ordinal:
-                row[end_index] = now
+                closed.append(row)
                 kept.append(row)
             # else: row inserted today — drop it entirely
-        table.rows = kept
-        table.version += 1
+        for row in closed:
+            table.set_cell(row, end_index, now)
+        if count:
+            table.replace_rows(kept)
         self.db.stats.rows_written += count
         return count
 

@@ -61,21 +61,23 @@ def add_transactiontime(
     """
     table = db.catalog.get_table(table_name)
     info = transaction_info(table.name)
+    columns_added = False
     for column_name, default in (
         (info.begin_column, clock),
         (info.end_column, FOREVER),
     ):
         if not table.has_column(column_name):
-            table.columns.append(Column(column_name, SqlType("DATE")))
-            table._index[column_name.lower()] = len(table.columns) - 1
-            for row in table.rows:
-                row.append(default)
-            table.version += 1
+            table.add_column(Column(column_name, SqlType("DATE")), default)
+            columns_added = True
         elif not table.column_type(column_name).is_date:
             raise CatalogError(
                 f"transaction-time column {table_name}.{column_name}"
                 " must be DATE"
             )
+    if columns_added:
+        # the table's shape changed out-of-band: compiled plans bound
+        # against the old column layout must not be reused
+        db.catalog.note_schema_change()
     registry.add(info, table)
     return info
 
@@ -169,12 +171,10 @@ class TransactionTimeDml:
             new_row[start_index] = clock
             new_row[stop_index] = FOREVER
             if row[start_index] == clock:
-                for i, value in enumerate(new_row):
-                    row[i] = value
+                table.write_row(row, new_row)
             else:
-                row[stop_index] = clock
+                table.set_cell(row, stop_index, clock)
                 table.insert(new_row)
-        table.version += 1
         self.db.stats.rows_written += len(matches)
         return len(matches)
 
@@ -194,6 +194,7 @@ class TransactionTimeDml:
         env = Env()
         count = 0
         kept: list[list[Any]] = []
+        closed: list[list[Any]] = []
         for row in table.rows:
             if row[stop_index] == FOREVER:
                 env.bindings[binding_name] = Binding(colmap, row)
@@ -201,9 +202,11 @@ class TransactionTimeDml:
                     count += 1
                     if row[start_index] == clock:
                         continue  # inserted and deleted in one transaction
-                    row[stop_index] = clock
+                    closed.append(row)
             kept.append(row)
-        table.rows = kept
-        table.version += 1
+        for row in closed:
+            table.set_cell(row, stop_index, clock)
+        if count:
+            table.replace_rows(kept)
         self.db.stats.rows_written += count
         return count

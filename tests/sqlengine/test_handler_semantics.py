@@ -1,0 +1,237 @@
+"""Condition handlers and routine atomicity (SQL/PSM ISO 9075-4).
+
+The PSM interpreter wraps every routine statement in an undo-log mark:
+a failed statement's partial effects are reverted before the handler
+search begins, so a CONTINUE handler resumes with exactly the failing
+statement undone, an EXIT handler additionally unwinds its compound,
+and an unhandled exception leaves the whole routine without net effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import RoutineError, SignalError
+
+from tests.faultinject import assert_snapshot_equal, snapshot_db
+
+
+@pytest.fixture
+def db_h(db: Database) -> Database:
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("CREATE TABLE log (msg CHAR(20))")
+    # inserts two rows, then fails: the CALL statement is rolled back as
+    # a unit wherever it appears
+    db.execute(
+        """
+        CREATE PROCEDURE fail_mid ()
+        LANGUAGE SQL
+        BEGIN
+          INSERT INTO t VALUES (101);
+          INSERT INTO t VALUES (102);
+          SIGNAL SQLSTATE '45000' SET MESSAGE_TEXT = 'boom';
+        END
+        """
+    )
+    return db
+
+
+def values(db: Database, table: str = "t"):
+    return sorted(row[0] for row in db.table(table).rows)
+
+
+def test_unhandled_exception_reverts_whole_routine(db_h: Database):
+    before = snapshot_db(db_h)
+    with pytest.raises(SignalError) as excinfo:
+        db_h.execute("CALL fail_mid()")
+    assert excinfo.value.sqlstate == "45000"
+    assert excinfo.value.message == "boom"
+    assert_snapshot_equal(db_h, before)
+
+
+def test_continue_handler_resumes_after_failed_statement(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLEXCEPTION
+            INSERT INTO log VALUES ('handled');
+          INSERT INTO t VALUES (1);
+          CALL fail_mid();
+          INSERT INTO t VALUES (3);
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    # the failed CALL's two inserts are gone; execution resumed
+    assert values(db_h) == [1, 3]
+    assert values(db_h, "log") == ["handled"]
+
+
+def test_exit_handler_unwinds_one_compound_only(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          INSERT INTO t VALUES (1);
+          BEGIN
+            DECLARE EXIT HANDLER FOR SQLEXCEPTION
+              INSERT INTO log VALUES ('handled');
+            INSERT INTO t VALUES (2);
+            CALL fail_mid();
+            INSERT INTO t VALUES (3);
+          END;
+          INSERT INTO t VALUES (4);
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    # 2 survives (its statement succeeded before the failure), 3 is
+    # skipped (EXIT leaves the inner compound), 4 runs (outer continues)
+    assert values(db_h) == [1, 2, 4]
+    assert values(db_h, "log") == ["handled"]
+
+
+def test_handler_in_caller_catches_callee_failure(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE outer_p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLSTATE '45000'
+            INSERT INTO log VALUES ('caught');
+          CALL fail_mid();
+          INSERT INTO t VALUES (9);
+        END
+        """
+    )
+    db_h.execute("CALL outer_p()")
+    assert values(db_h) == [9]
+    assert values(db_h, "log") == ["caught"]
+
+
+def test_sqlstate_handler_preferred_over_sqlexception(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLEXCEPTION
+            INSERT INTO log VALUES ('generic');
+          DECLARE CONTINUE HANDLER FOR SQLSTATE '45001'
+            INSERT INTO log VALUES ('specific');
+          SIGNAL SQLSTATE '45001';
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    assert values(db_h, "log") == ["specific"]
+
+
+def test_signal_with_unmatched_sqlstate_falls_back_to_sqlexception(db_h):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLEXCEPTION
+            INSERT INTO log VALUES ('generic');
+          SIGNAL SQLSTATE '45002';
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    assert values(db_h, "log") == ["generic"]
+
+
+def test_not_found_handler_untouched_by_statement_guards(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE n INTEGER;
+          DECLARE done INTEGER DEFAULT 0;
+          DECLARE CONTINUE HANDLER FOR NOT FOUND SET done = 1;
+          INSERT INTO t VALUES (1);
+          SELECT a INTO n FROM t WHERE a = 999;
+          INSERT INTO t VALUES (done);
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    # NOT FOUND is a completion condition: nothing was rolled back and
+    # the handler ran (done = 1)
+    assert values(db_h) == [1, 1]
+
+
+def test_failing_handler_action_does_not_recurse(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLEXCEPTION
+            SIGNAL SQLSTATE '45009' SET MESSAGE_TEXT = 'handler failed';
+          CALL fail_mid();
+        END
+        """
+    )
+    before = snapshot_db(db_h)
+    with pytest.raises(SignalError) as excinfo:
+        db_h.execute("CALL p()")
+    # the handler's own failure propagates instead of looping forever
+    assert excinfo.value.sqlstate == "45009"
+    assert_snapshot_equal(db_h, before)
+
+
+def test_handler_goes_out_of_scope_with_its_compound(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          BEGIN
+            DECLARE CONTINUE HANDLER FOR SQLEXCEPTION
+              INSERT INTO log VALUES ('inner');
+            INSERT INTO t VALUES (1);
+          END;
+          CALL fail_mid();
+        END
+        """
+    )
+    before = snapshot_db(db_h)
+    with pytest.raises(SignalError):
+        db_h.execute("CALL p()")
+    assert_snapshot_equal(db_h, before)
+
+
+def test_transaction_statements_rejected_inside_routines(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          ROLLBACK;
+        END
+        """
+    )
+    with pytest.raises(RoutineError, match="not allowed inside routines"):
+        db_h.execute("CALL p()")
+
+
+def test_signal_renders_back_to_sql():
+    from repro.sqlengine.parser import parse_statement
+
+    proc = parse_statement(
+        "CREATE PROCEDURE p () LANGUAGE SQL BEGIN"
+        " SIGNAL SQLSTATE '45000' SET MESSAGE_TEXT = 'it''s bad'; END"
+    )
+    rendered = proc.to_sql()
+    assert "SIGNAL SQLSTATE '45000'" in rendered
+    assert "MESSAGE_TEXT = 'it''s bad'" in rendered
+    # and the rendering re-parses
+    parse_statement(rendered)
