@@ -12,6 +12,7 @@ from pathlib import Path
 
 from benchmarks.conftest import print_report
 from repro.bench.harness import run_cell
+from repro.bench.reporting import trace_summary
 from repro.taubench import get_query
 from repro.temporal.stratum import SlicingStrategy
 
@@ -67,6 +68,7 @@ def test_plan_cache_ablation(benchmark, ds1_small):
         "cached": _cell_dict(cached),
         "cache_disabled": _cell_dict(disabled),
         "speedup": disabled.seconds / cached.seconds,
+        "trace_summary": trace_summary(ds1_small.stratum.db),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print_report(

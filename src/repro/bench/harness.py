@@ -40,6 +40,10 @@ class CellResult:
     plans_compiled: int = 0
     plan_cache_hits: int = 0
     transform_cache_hits: int = 0
+    # observability counters (also appended-only): constant periods
+    # materialized and base-table rows scanned during the timed run
+    slices: int = 0
+    rows_scanned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -81,10 +85,12 @@ def run_cell(
             stratum.execute(sequenced, strategy=strategy)
         stats = stratum.db.stats
         before = stats.snapshot()
+        slices_before = stratum.db.obs.value("stratum.slices")
         started = time.perf_counter()
         result = stratum.execute(sequenced, strategy=strategy)
         cell.seconds = time.perf_counter() - started
         after = stats.snapshot()
+        cell.slices = stratum.db.obs.value("stratum.slices") - slices_before
         cell.rows = (
             sum(len(r) for r in result) if isinstance(result, list) else len(result)
         )
@@ -100,6 +106,7 @@ def run_cell(
         cell.transform_cache_hits = (
             after["transform_cache_hits"] - before["transform_cache_hits"]
         )
+        cell.rows_scanned = after["rows_scanned"] - before["rows_scanned"]
     except PerStatementInapplicableError:
         cell.inapplicable = True
     except TemporalError as exc:

@@ -113,6 +113,8 @@ COUNTER_METRICS = [
     "plans_compiled",
     "plan_cache_hits",
     "transform_cache_hits",
+    "slices",
+    "rows_scanned",
 ]
 
 
@@ -136,6 +138,20 @@ def format_counters(cells: list[CellResult], title: str = "") -> str:
     for row in body:
         lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def trace_summary(db) -> dict:
+    """A JSON-able view of one database's observability state.
+
+    Emitted into the ``BENCH_*.json`` files (and uploaded as a CI
+    artifact) so a benchmark run carries the metrics that produced it:
+    slice counts, per-slice/per-invocation timing means, rows
+    scanned/written by source, cache traffic, undo-log depth.
+    """
+    return {
+        "stats": db.stats.snapshot(),
+        "metrics": db.obs.snapshot(),
+    }
 
 
 def _fmt(cell: Optional[CellResult], metric: str) -> str:

@@ -19,10 +19,17 @@ Meta-commands (a leading dot):
 ``.transform SQL`` show the conventional SQL a statement transforms into
 ``.load DS SIZE``  load a τPSM dataset (e.g. ``.load DS1 SMALL``)
 ``.stats``         engine counters
+``.metrics``       the observability registry (hierarchical snapshot)
+``.trace [on|off]``toggle tracing, or show the last statement's span tree
 ``.quit``          exit
 =================  ========================================================
 
-Statements may span lines; end them with a semicolon.
+Statements may span lines; end them with a semicolon.  ``EXPLAIN
+[ANALYZE] <stmt>`` works as a statement, and the same renderings are
+available non-interactively::
+
+    python -m repro explain --load DS1 SMALL "VALIDTIME SELECT ..."
+    python -m repro trace   --load DS1 SMALL "VALIDTIME SELECT ..."
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import sys
 from typing import Any, Optional
 
+from repro.obs.explain import ExplainResult
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.values import Date, Null
@@ -73,6 +81,8 @@ def format_result(result: Any) -> str:
     """Render any stratum result (DDL/DML/query/CALL) for the terminal."""
     if result is None:
         return "ok"
+    if isinstance(result, ExplainResult):
+        return result.text()
     if isinstance(result, int):
         return f"{result} row{'s' if result != 1 else ''} affected"
     if isinstance(result, TemporalResult):
@@ -158,6 +168,10 @@ class Shell:
         if command == ".stats":
             stats = self.stratum.db.stats.snapshot()
             return "\n".join(f"{k}: {v}" for k, v in stats.items())
+        if command == ".metrics":
+            return self._metrics()
+        if command == ".trace":
+            return self._trace(argument)
         return f"unknown meta-command {command} (try .help)"
 
     def _tables(self) -> str:
@@ -223,6 +237,39 @@ class Shell:
         except SqlError as exc:
             return f"error: {exc}"
 
+    def _metrics(self) -> str:
+        flat = self.stratum.db.obs.flat()
+        if not flat:
+            return "no metrics recorded yet"
+        lines = []
+        for name in sorted(flat):
+            value = flat[name]
+            if isinstance(value, dict):
+                detail = ", ".join(
+                    f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items()
+                    if not isinstance(v, dict) and v is not None
+                )
+                lines.append(f"{name}: {detail}")
+            else:
+                lines.append(f"{name}: {value}")
+        return "\n".join(lines)
+
+    def _trace(self, argument: str) -> str:
+        tracer = self.stratum.db.tracer
+        if argument.lower() == "on":
+            tracer.enabled = True
+            return "tracing on"
+        if argument.lower() == "off":
+            tracer.enabled = False
+            return "tracing off"
+        if argument:
+            return "usage: .trace [on|off]"
+        if tracer.last_root is None:
+            state = "on" if tracer.enabled else "off"
+            return f"tracing is {state}; no trace captured yet"
+        return tracer.last_root.render()
+
     def _load(self, argument: str) -> str:
         parts = argument.split()
         name = parts[0] if parts else "DS1"
@@ -241,8 +288,78 @@ class Shell:
         )
 
 
+def _build_shell(load: Optional[str]) -> Shell:
+    shell = Shell()
+    if load:
+        output = shell._load(load.replace("-", " "))
+        if output.startswith("error:"):
+            raise SystemExit(output)
+        print(output, file=sys.stderr)
+    return shell
+
+
+def run_subcommand(argv: list[str]) -> int:
+    """``repro explain`` / ``repro trace``: one statement, no REPL.
+
+    Usage::
+
+        python -m repro explain [--analyze] [--strategy S] [--load DS SIZE] SQL
+        python -m repro trace   [--strategy S] [--load DS SIZE] SQL
+
+    ``explain`` prints the EXPLAIN rendering (add ``--analyze`` to
+    execute and append measured facts); ``trace`` executes the statement
+    with tracing enabled and prints the span tree plus the metrics the
+    run recorded.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("explain", "trace"):
+        p = sub.add_parser(name)
+        p.add_argument("sql", help="the Temporal SQL/PSM statement")
+        p.add_argument(
+            "--load", nargs=2, metavar=("DS", "SIZE"),
+            help="load a τPSM dataset first (e.g. --load DS1 SMALL)",
+        )
+        p.add_argument(
+            "--strategy", default="auto", choices=["auto", "max", "perst", "cost"],
+        )
+        if name == "explain":
+            p.add_argument("--analyze", action="store_true")
+    args = parser.parse_args(argv)
+    shell = _build_shell(" ".join(args.load) if args.load else None)
+    stratum = shell.stratum
+    strategy = SlicingStrategy(args.strategy)
+    sql = args.sql.rstrip(";")
+    try:
+        if args.command == "explain":
+            from repro.obs.explain import explain_statement
+            from repro.sqlengine.parser import parse_statement
+
+            result = explain_statement(
+                stratum, parse_statement(sql), getattr(args, "analyze", False),
+                strategy,
+            )
+            print(result.text())
+        else:
+            stratum.db.tracer.enabled = True
+            stratum.execute(sql, strategy=strategy)
+            root = stratum.db.tracer.last_root
+            print(root.render() if root else "(no spans recorded)")
+            print()
+            print(shell._metrics())
+    except SqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point: interactive loop on stdin."""
+    """Entry point: subcommand dispatch, or the interactive loop."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] in ("explain", "trace"):
+        return run_subcommand(argv)
     shell = Shell()
     print("Temporal SQL/PSM shell — .help for commands, .quit to exit")
     try:

@@ -1,0 +1,393 @@
+"""``EXPLAIN [ANALYZE]`` rendering for the stratum and the engine.
+
+``EXPLAIN <stmt>`` answers *what would run*: the strategy the §VII-F
+heuristic picks (and which rule fired), the resolved temporal context,
+the constant-period count, the conventional SQL the statement
+transforms into, the routine clones it needs, and the engine's bound
+plan — all without executing the statement.
+
+``EXPLAIN ANALYZE <stmt>`` executes it with tracing enabled and adds
+measured facts: wall time, slice count and per-slice latency, routine
+invocations, plan/transform cache traffic, rows scanned/written, and
+the span tree.
+
+Everything returns an :class:`ExplainResult`, which duck-types enough
+of a result set (``columns`` / ``rows``) for the shell to print while
+keeping ``text()`` for golden-file tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.sqlengine import ast_nodes as ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sqlengine.engine import Database
+    from repro.temporal.stratum import TemporalStratum
+
+
+class ExplainResult:
+    """Rendered EXPLAIN output: one line per row."""
+
+    def __init__(self, lines: list[str], result: Any = None) -> None:
+        self.lines = lines
+        self.columns = ["plan"]
+        self.rows = [[line] for line in lines]
+        # EXPLAIN ANALYZE executed the statement; its (discarded) result
+        # is kept for callers that want to inspect it
+        self.result = result
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ExplainResult({len(self.lines)} lines)"
+
+
+# ---------------------------------------------------------------------------
+# engine plan rendering
+# ---------------------------------------------------------------------------
+
+
+def describe_plan(plan: Any, depth: int = 0) -> list[str]:
+    """Text tree for a bound plan (SelectPlan / DML plans / sources)."""
+    from repro.sqlengine import planner
+
+    pad = "  " * depth
+    if plan is None:
+        return [pad + "(interpreted: statement not plannable)"]
+    if isinstance(plan, planner.SelectPlan):
+        shape = []
+        if plan.grouped:
+            shape.append("grouped")
+        if plan.distinct:
+            shape.append("distinct")
+        if plan.order_entries:
+            shape.append("ordered")
+        suffix = f" [{', '.join(shape)}]" if shape else ""
+        lines = [pad + f"Select ({len(plan.columns)} columns{suffix})"]
+        if plan.where_c is not None:
+            lines.append(pad + "  filter: compiled predicate")
+        for source in plan.sources:
+            lines.extend(_describe_source(source, depth + 1))
+        return lines
+    if isinstance(plan, planner.InsertPlan):
+        return [pad + f"Insert {plan.table} ({len(plan.value_rows or [])} rows)"
+                if plan.select is None
+                else pad + f"Insert {plan.table} (from query)"]
+    if isinstance(plan, planner.UpdatePlan):
+        return [pad + f"Update {plan.table}"]
+    if isinstance(plan, planner.DeletePlan):
+        return [pad + f"Delete {plan.table}"]
+    return [pad + type(plan).__name__]
+
+
+def _describe_source(source: Any, depth: int) -> list[str]:
+    from repro.sqlengine import planner
+
+    pad = "  " * depth
+    if isinstance(source, planner._Scan):
+        probe = " (hash-probe candidate)" if source.conjuncts else ""
+        alias = f" AS {source.alias}" if source.alias.lower() != source.name.lower() else ""
+        return [pad + f"Scan {source.name}{alias}{probe}"]
+    if isinstance(source, planner._View):
+        return [pad + f"View {source.name}"]
+    if isinstance(source, planner._Subquery):
+        return [pad + f"Subquery AS {source.key}"]
+    if isinstance(source, planner._TableFunc):
+        return [pad + f"TableFunction {source.name} AS {source.key}"]
+    if isinstance(source, (planner._JoinNode, planner._LeftJoinNode)):
+        kind = "LeftJoin" if isinstance(source, planner._LeftJoinNode) else "Join"
+        lines = [pad + kind]
+        lines.extend(_describe_source(source.left, depth + 1))
+        lines.extend(_describe_source(source.right, depth + 1))
+        return lines
+    return [pad + type(source).__name__]
+
+
+def _engine_plan_lines(db: "Database", stmt: ast.Statement) -> list[str]:
+    """Bind ``stmt`` through the planner (cached) and render the plan."""
+    if not isinstance(stmt, ast.Select) or stmt.set_op:
+        return []
+    from repro.sqlengine.planner import build_select_plan
+
+    hit, plan = db.plan_cache.fetch(stmt, db.catalog.schema_version)
+    if not hit:
+        try:
+            plan = build_select_plan(db.executor, stmt, None)
+        except Exception:  # planner bails on names only live envs resolve
+            return ["engine plan:", "  (not plannable outside execution)"]
+        db.plan_cache.store(stmt, db.catalog.schema_version, plan)
+    return ["engine plan:"] + ["  " + line for line in describe_plan(plan)]
+
+
+# ---------------------------------------------------------------------------
+# conventional (engine-level) EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+def explain_engine_statement(
+    db: "Database", stmt: ast.Statement, analyze: bool = False
+) -> ExplainResult:
+    """EXPLAIN for a conventional statement on a bare :class:`Database`."""
+    lines = [f"statement: {stmt.to_sql()}"]
+    lines.extend(_engine_plan_lines(db, stmt))
+    if not analyze:
+        return ExplainResult(lines)
+    result, report = _run_analyzed(db, lambda: db.execute_ast(stmt))
+    lines.extend(report)
+    return ExplainResult(lines, result=result)
+
+
+# ---------------------------------------------------------------------------
+# temporal (stratum-level) EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+def explain_statement(
+    stratum: "TemporalStratum",
+    stmt: ast.Statement,
+    analyze: bool = False,
+    strategy: Optional[Any] = None,
+) -> ExplainResult:
+    """EXPLAIN for a Temporal SQL/PSM statement through the stratum."""
+    from repro.temporal.stratum import SlicingStrategy
+
+    if strategy is None:
+        strategy = SlicingStrategy.AUTO
+    modifier = getattr(stmt, "modifier", None)
+    lines = [f"statement: {stmt.to_sql()}"]
+    if modifier is None:
+        lines.extend(_explain_current(stratum, stmt))
+    elif modifier.flavor is ast.TemporalFlavor.NONSEQUENCED:
+        lines.extend(_explain_nonsequenced(stratum, stmt, modifier))
+    else:
+        lines.extend(_explain_sequenced(stratum, stmt, modifier, strategy))
+    if not analyze:
+        return ExplainResult(lines)
+    db = stratum.db
+    result, report = _run_analyzed(
+        db, lambda: stratum.execute_ast(stmt, strategy)
+    )
+    lines.extend(report)
+    return ExplainResult(lines, result=result)
+
+
+def _explain_current(stratum: "TemporalStratum", stmt: ast.Statement) -> list[str]:
+    from repro.temporal import analysis
+    from repro.temporal.current import transform_current
+
+    db = stratum.db
+    touches_vt = analysis.reads_temporal(stmt, db.catalog, stratum.registry)
+    touches_tt = analysis.reads_temporal(stmt, db.catalog, stratum.tt_registry)
+    if not touches_vt and not touches_tt:
+        lines = ["semantics: conventional (no temporal tables reached)"]
+        lines.extend(_engine_plan_lines(db, stmt))
+        return lines
+    dims = [d for d, hit in (("valid time", touches_vt),
+                             ("transaction time", touches_tt)) if hit]
+    lines = [f"semantics: temporal upward compatibility (current) on {', '.join(dims)}"]
+    rendered = stmt
+    if touches_vt:
+        result = transform_current(stmt, db.catalog, stratum.registry)
+        rendered = result.statement
+        if result.routines:
+            lines.append(
+                "routine clones: "
+                + ", ".join(sorted(r.name for r in result.routines))
+            )
+    lines.append("transformed SQL:")
+    lines.extend("  " + line for line in rendered.to_sql().splitlines())
+    lines.extend(_engine_plan_lines(db, rendered))
+    return lines
+
+
+def _explain_nonsequenced(
+    stratum: "TemporalStratum", stmt: ast.Statement, modifier: ast.TemporalModifier
+) -> list[str]:
+    from repro.temporal.transform_util import clone
+
+    plain = clone(stmt)
+    plain.modifier = None
+    lines = [
+        f"semantics: nonsequenced {modifier.dimension.lower()} time"
+        " (timestamps exposed raw)"
+    ]
+    lines.append("transformed SQL:")
+    lines.extend("  " + line for line in plain.to_sql().splitlines())
+    lines.extend(_engine_plan_lines(stratum.db, plain))
+    return lines
+
+
+def _explain_sequenced(
+    stratum: "TemporalStratum",
+    stmt: ast.Statement,
+    modifier: ast.TemporalModifier,
+    strategy: Any,
+) -> list[str]:
+    from repro.sqlengine.values import Date
+    from repro.temporal import analysis
+    from repro.temporal.constant_periods import compute_constant_periods
+    from repro.temporal.heuristic import choose_strategy, estimate_costs
+    from repro.temporal.max_slicing import transform_query_max
+    from repro.temporal.perst_slicing import PerstTransformer
+    from repro.temporal.stratum import (
+        MAX_CP_TABLE,
+        SlicingStrategy,
+        substitute_context,
+    )
+    from repro.temporal.transform_util import clone
+
+    db = stratum.db
+    registry = (
+        stratum.tt_registry if modifier.dimension == "TRANSACTION" else stratum.registry
+    )
+    context = stratum._resolve_context(stmt, modifier, registry)
+    lines = [
+        f"semantics: sequenced {modifier.dimension.lower()} time",
+        f"context: [{Date(context.begin).to_iso()}, {Date(context.end).to_iso()})"
+        f" ({context.duration} days)",
+    ]
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        lines.append(
+            "plan: sequenced modification (paper §VI close/split/reinsert)"
+        )
+        return lines
+    # resolve AUTO / COST exactly the way execution would
+    if strategy is SlicingStrategy.AUTO:
+        choice = choose_strategy(stmt, db, registry, context)
+        strategy = choice.strategy
+        lines.append(
+            f"strategy: {strategy.value}"
+            f" (rule {choice.rule}: {choice.reason})"
+        )
+    elif strategy is SlicingStrategy.COST:
+        from repro.temporal.heuristic import perst_applicable
+
+        applicable, why = perst_applicable(stmt, db, registry)
+        if not applicable:
+            strategy = SlicingStrategy.MAX
+            lines.append(f"strategy: max (cost model; PERST inapplicable: {why})")
+        else:
+            estimate = estimate_costs(stmt, db, registry, context, obs=db.obs)
+            strategy = (
+                SlicingStrategy.PERST if estimate.prefers_perst
+                else SlicingStrategy.MAX
+            )
+            lines.append(
+                f"strategy: {strategy.value} (cost model [{estimate.mode}]:"
+                f" max={estimate.max_cost:.4f} perst={estimate.perst_cost:.4f})"
+            )
+    else:
+        lines.append(f"strategy: {strategy.value} (requested)")
+    tables = analysis.reachable_temporal_tables(stmt, db.catalog, registry)
+    slices = len(compute_constant_periods(db, tables, registry, context))
+    lines.append(
+        f"temporal tables: {', '.join(tables) if tables else '(none)'}"
+    )
+    if strategy is SlicingStrategy.MAX:
+        result = transform_query_max(stmt, db.catalog, registry, MAX_CP_TABLE)
+        lines.append(
+            f"constant periods: {slices} into {result.cp_table}"
+            f" (one evaluation per period)"
+        )
+        transformed = result.statement
+        clones = result.routines
+    else:
+        transformer = PerstTransformer(db.catalog, registry)
+        result = transformer.transform(stmt)
+        transformed = clone(result.statement)
+        substitute_context(transformed, context)
+        clones = result.routines
+        if result.cp_requirements:
+            reqs = ", ".join(
+                f"{cp} ({', '.join(tabs)})"
+                for cp, tabs in sorted(result.cp_requirements.items())
+            )
+            lines.append(
+                f"constant periods: {slices}; per-statement loops over: {reqs}"
+            )
+        else:
+            lines.append(
+                "constant periods: not needed (algebraic fragment,"
+                " single data pass)"
+            )
+    if clones:
+        lines.append(
+            "routine clones: " + ", ".join(sorted(r.name for r in clones))
+        )
+    lines.append("transformed SQL:")
+    lines.extend("  " + line for line in transformed.to_sql().splitlines())
+    lines.extend(_engine_plan_lines(db, transformed))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# ANALYZE
+# ---------------------------------------------------------------------------
+
+_ANALYZE_COUNTERS = (
+    ("plans compiled", "plans_compiled"),
+    ("plan cache hits", "plan_cache_hits"),
+    ("transforms", "transforms"),
+    ("transform cache hits", "transform_cache_hits"),
+    ("rows scanned", "rows_scanned"),
+    ("rows written", "rows_written"),
+)
+
+
+def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
+    """Execute ``thunk`` traced; render the measured report lines."""
+    tracer = db.tracer
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    before = db.stats.snapshot()
+    slices_before = db.obs.value("stratum.slices")
+    started = time.perf_counter()
+    try:
+        result = thunk()
+    finally:
+        tracer.enabled = was_enabled
+    elapsed = time.perf_counter() - started
+    after = db.stats.snapshot()
+    slices = db.obs.value("stratum.slices") - slices_before
+    lines = ["measured:", f"  wall time: {elapsed * 1000.0:.3f}ms"]
+    if slices:
+        lines.append(
+            f"  slices: {slices}"
+            f" (mean {elapsed / slices * 1000.0:.3f}ms/slice)"
+        )
+    calls = after["total_routine_calls"] - before["total_routine_calls"]
+    lines.append(f"  routine invocations: {calls}")
+    lines.append(
+        f"  statements executed: {after['statements'] - before['statements']}"
+    )
+    for label, key in _ANALYZE_COUNTERS:
+        delta = after.get(key, 0) - before.get(key, 0)
+        if delta:
+            lines.append(f"  {label}: {delta}")
+    lines.append(f"  result rows: {_result_rows(result)}")
+    if tracer.last_root is not None:
+        lines.append("trace:")
+        lines.extend(
+            "  " + line for line in tracer.last_root.render().splitlines()
+        )
+    return result, lines
+
+
+def _result_rows(result: Any) -> int:
+    if result is None:
+        return 0
+    if isinstance(result, int):
+        return result
+    if isinstance(result, list):
+        return sum(_result_rows(r) for r in result)
+    try:
+        return len(result)
+    except TypeError:
+        return 0

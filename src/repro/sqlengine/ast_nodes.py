@@ -649,6 +649,24 @@ class TransactionStatement(Statement):
         return self.action
 
 
+@dataclass
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Wraps any other statement (including temporally-modified ones, so
+    ``EXPLAIN VALIDTIME SELECT ...`` parses).  Rendered by
+    :mod:`repro.obs.explain`; with ``analyze`` the wrapped statement is
+    actually executed under tracing and measured facts are appended.
+    """
+
+    statement: "Statement" = None  # type: ignore[assignment]
+    analyze: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.statement.to_sql()}"
+
+
 # ---------------------------------------------------------------------------
 # PSM routines
 # ---------------------------------------------------------------------------

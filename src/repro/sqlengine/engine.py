@@ -8,9 +8,10 @@ paper's MAX-vs-PERST comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor, ResultSet
@@ -19,24 +20,46 @@ from repro.sqlengine.txn import TransactionManager
 from repro.sqlengine.values import Date
 
 
-@dataclass
 class EngineStats:
-    """Counters accumulated across statement executions."""
+    """Counters accumulated across statement executions.
 
-    statements: int = 0
-    rows_written: int = 0
-    total_routine_calls: int = 0
-    routine_calls: dict[str, int] = field(default_factory=dict)
-    call_depth: int = 0  # transient: current execution nesting
-    plans_compiled: int = 0
-    plan_cache_hits: int = 0
-    transforms: int = 0
-    transform_cache_hits: int = 0
-    rollbacks: int = 0
+    Hot counters stay plain ints; row mutations are routed into the
+    metrics registry under ``engine.rows_written.<source>`` so every
+    write path (insert/update/delete, sequenced rewrites, TT
+    maintenance, bulk loads) is attributed.  ``rows_written`` remains as
+    a deprecated read-only alias for the sum across sources.
+    """
+
+    ROWS_WRITTEN_PREFIX = "engine.rows_written."
+    ROWS_SCANNED = "engine.rows_scanned"
+
+    def __init__(self, obs: Optional[MetricsRegistry] = None) -> None:
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self.statements = 0
+        self.total_routine_calls = 0
+        self.routine_calls: dict[str, int] = {}
+        self.call_depth = 0  # transient: current execution nesting
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+        self.transforms = 0
+        self.transform_cache_hits = 0
+        self.rollbacks = 0
+
+    def count_rows(self, n: int, source: str = "insert") -> None:
+        """Attribute ``n`` written rows to one mutation ``source``."""
+        self.obs.inc(self.ROWS_WRITTEN_PREFIX + source, n)
+
+    @property
+    def rows_written(self) -> int:
+        """Deprecated: total across ``engine.rows_written.*`` sources."""
+        return self.obs.sum_prefix(self.ROWS_WRITTEN_PREFIX)
+
+    @property
+    def rows_scanned(self) -> int:
+        return self.obs.value(self.ROWS_SCANNED)
 
     def reset(self) -> None:
         self.statements = 0
-        self.rows_written = 0
         self.total_routine_calls = 0
         self.routine_calls = {}
         self.call_depth = 0
@@ -45,11 +68,18 @@ class EngineStats:
         self.transforms = 0
         self.transform_cache_hits = 0
         self.rollbacks = 0
+        self.obs.reset_prefix("engine.")
 
     def snapshot(self) -> dict[str, Any]:
         return {
             "statements": self.statements,
             "rows_written": self.rows_written,
+            "rows_written_by_source": {
+                name[len(self.ROWS_WRITTEN_PREFIX):]: value
+                for name, value in self.obs.flat().items()
+                if name.startswith(self.ROWS_WRITTEN_PREFIX)
+            },
+            "rows_scanned": self.rows_scanned,
             "total_routine_calls": self.total_routine_calls,
             "routine_calls": dict(self.routine_calls),
             "plans_compiled": self.plans_compiled,
@@ -125,7 +155,12 @@ class Database:
 
     def __init__(self, now: Optional[Date] = None) -> None:
         self.catalog = Catalog()
-        self.stats = EngineStats()
+        # observability: one metrics registry + tracer per database;
+        # EngineStats keeps its hot counters but reports row mutations
+        # into the registry (DESIGN.md §3.3)
+        self.obs = MetricsRegistry()
+        self.tracer = Tracer()
+        self.stats = EngineStats(self.obs)
         self.now = now if now is not None else Date.from_ymd(2011, 1, 1)
         self._executor = Executor(self)
         # per-top-level-statement memo for TABLE(f(args)) invocations:
@@ -161,6 +196,10 @@ class Database:
     def execute_ast(self, stmt: ast.Statement) -> Any:
         if isinstance(stmt, ast.TransactionStatement):
             return self.txn.execute_statement(stmt)
+        if isinstance(stmt, ast.ExplainStatement):
+            from repro.obs.explain import explain_engine_statement
+
+            return explain_engine_statement(self, stmt.statement, stmt.analyze)
         self.table_function_cache.clear()
         token = self.txn.mark()  # implicit statement-level atomicity
         try:
@@ -198,4 +237,4 @@ class Database:
         table = self.catalog.get_table(table_name)
         for row in rows:
             table.insert(row)
-        self.stats.rows_written += len(rows)
+        self.stats.count_rows(len(rows), "bulk_load")

@@ -607,6 +607,7 @@ class Executor:
             else:
                 rows = table.hash_index(column_index).get(sort_key(value), [])
         key = alias.lower()
+        self.db.obs.inc("engine.rows_scanned", len(rows))
         for row in rows:
             env.bindings[key] = Binding(colmap, row)
             yield env
@@ -755,6 +756,7 @@ class Executor:
                 result = self.execute_select(view, Env(frame=env.frame))
                 return source.binding, result.columns, result.rows
             table = self._resolve_table(source.name, env)
+            self.db.obs.inc("engine.rows_scanned", len(table.rows))
             return source.binding, table.column_names, table.rows
         if isinstance(source, ast.SubqueryRef):
             result = self.execute_select(source.select, env)
@@ -875,7 +877,7 @@ class Executor:
         prepared = [table.prepare_row(values, stmt.columns) for values in source_rows]
         for row in prepared:
             table.append_row(row)
-        self.db.stats.rows_written += len(prepared)
+        self.db.stats.count_rows(len(prepared), "insert")
         return len(prepared)
 
     def execute_update(self, stmt: ast.Update, env: Optional[Env]) -> int:
@@ -901,7 +903,7 @@ class Executor:
             }
 
         count = table.update_where(predicate, updater)
-        self.db.stats.rows_written += count
+        self.db.stats.count_rows(count, "update")
         return count
 
     def execute_delete(self, stmt: ast.Delete, env: Optional[Env]) -> int:
@@ -919,7 +921,7 @@ class Executor:
             return stmt.where is None or truth(self.evaluate(stmt.where, eval_env))
 
         count = table.delete_where(predicate)
-        self.db.stats.rows_written += count
+        self.db.stats.count_rows(count, "delete")
         return count
 
     # ------------------------------------------------------------------
@@ -937,7 +939,7 @@ class Executor:
             for row in result.rows:
                 table.rows.append(list(row))
             table.version += 1
-            self.db.stats.rows_written += len(result.rows)
+            self.db.stats.count_rows(len(result.rows), "insert")
             self.db.catalog.add_table(table, replace=stmt.temporary)
             return
         pk_columns = set(stmt.primary_key or [])

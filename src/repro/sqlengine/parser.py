@@ -133,6 +133,13 @@ class Parser:
     # -- statements ---------------------------------------------------------
 
     def statement(self) -> ast.Statement:
+        if self.accept_keyword("EXPLAIN"):
+            analyze = bool(self.accept_keyword("ANALYZE"))
+            # EXPLAIN wraps a whole statement, temporal modifier and all
+            # (EXPLAIN VALIDTIME SELECT ... / EXPLAIN ANALYZE CALL ...)
+            return ast.ExplainStatement(
+                statement=self.statement(), analyze=analyze
+            )
         modifier = self.temporal_modifier()
         token = self.peek()
         if token.kind is TokenKind.IDENT and self.peek(1).matches(

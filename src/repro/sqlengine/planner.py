@@ -142,6 +142,7 @@ class _Scan:
         key = self.key
         colmap = self.colmap
         bindings = env.bindings
+        executor.db.obs.inc("engine.rows_scanned", len(rows))
         for row in rows:
             bindings[key] = Binding(colmap, row)
             yield env
@@ -788,7 +789,7 @@ class InsertPlan:
         prepared = [table.prepare_row(values, self.columns) for values in source_rows]
         for row in prepared:
             table.append_row(row)
-        executor.db.stats.rows_written += len(prepared)
+        executor.db.stats.count_rows(len(prepared), "insert")
         return len(prepared)
 
 
@@ -841,7 +842,7 @@ class UpdatePlan:
             }
 
         count = table.update_where(predicate, updater)
-        executor.db.stats.rows_written += count
+        executor.db.stats.count_rows(count, "update")
         return count
 
 
@@ -888,7 +889,7 @@ class DeletePlan:
             return where_c is None or truth(where_c(eval_env))
 
         count = table.delete_where(predicate)
-        executor.db.stats.rows_written += count
+        executor.db.stats.count_rows(count, "delete")
         return count
 
 

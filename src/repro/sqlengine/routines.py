@@ -252,10 +252,11 @@ class RoutineInterpreter:
                 arg_values.append(self.executor.evaluate_cached(arg, eval_env))
         frame = self._new_frame(routine, arg_values)
         self._count_call(routine.name)
-        try:
-            self.execute_statement(routine.definition.body, frame)
-        except _Return:
-            pass
+        with self.db.tracer.span("routine", name=routine.name):
+            try:
+                self.execute_statement(routine.definition.body, frame)
+            except _Return:
+                pass
         # copy OUT / INOUT parameters back to the caller
         for index, var_name in out_targets:
             found, value = frame.lookup_variable(params[index].name.lower())
@@ -273,11 +274,12 @@ class RoutineInterpreter:
             )
         frame = self._new_frame(routine, args)
         self._count_call(routine.name)
-        try:
-            self.execute_statement(routine.definition.body, frame)
-        except _Return as ret:
-            return ret.value
-        return Null
+        with self.db.tracer.span("routine", name=routine.name):
+            try:
+                self.execute_statement(routine.definition.body, frame)
+            except _Return as ret:
+                return ret.value
+            return Null
 
     def _new_frame(self, routine: Routine, args: list[Any]) -> Frame:
         if self.db.stats.call_depth >= self.MAX_DEPTH:

@@ -49,6 +49,8 @@ KEYWORDS = frozenset(
         "CONDITION", "OUT", "INOUT", "ATOMIC", "ELSE", "SIGNAL",
         # transaction control ("TO" and "WORK" stay soft identifiers)
         "START", "TRANSACTION", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE",
+        # observability
+        "EXPLAIN", "ANALYZE",
         # misc
         "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
         # temporal (recognised by the stratum's parser extension; the

@@ -185,10 +185,17 @@ class TransactionManager:
         # the stratum registers one to purge transform-cache entries
         # stored during the rolled-back window
         self.rollback_hooks: list[Callable[[], None]] = []
+        # high-water mark of undo-log depth, mirrored into the metrics
+        # registry only when it moves (the int compare keeps mark() hot)
+        self._undo_high_water = 0
 
     # -- marks (internal savepoints) ------------------------------------
 
     def mark(self, name: Optional[str] = None) -> _Mark:
+        depth = len(self.log)
+        if depth > self._undo_high_water:
+            self._undo_high_water = depth
+            self.db.obs.set_gauge("txn.undo_depth_high_water", depth)
         mark = _Mark(name, len(self.log))
         self.marks.append(mark)
         self.logging = True

@@ -82,7 +82,7 @@ def import_table(db: Database, table_name: str, path: Union[str, Path]) -> int:
         for row in reader:
             table.insert([_decode(v, t) for v, t in zip(row, types)])
             count += 1
-    db.stats.rows_written += count
+    db.stats.count_rows(count, "bulk_load")
     return count
 
 

@@ -141,7 +141,7 @@ def _sequenced_delete(
         )
         for part in additions:
             table.append_row(part)
-    db.stats.rows_written += len(matches) + len(additions)
+    db.stats.count_rows(len(matches) + len(additions), "sequenced_rewrite")
     return len(matches)
 
 
@@ -185,7 +185,7 @@ def _sequenced_update(
         )
         for part in additions:
             table.append_row(part)
-    db.stats.rows_written += len(additions)
+    db.stats.count_rows(len(additions), "sequenced_rewrite")
     return len(matches)
 
 

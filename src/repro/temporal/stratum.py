@@ -24,6 +24,7 @@ statement turns into (the paper's Figures 5-11).
 from __future__ import annotations
 
 import enum
+import time
 from typing import Any, Optional, Union
 
 from repro.sqlengine import ast_nodes as ast
@@ -51,6 +52,7 @@ from repro.temporal.perst_slicing import (
     PerstTransformer,
     PerstTransformResult,
 )
+from repro.obs.tracing import _NOOP as _NO_SPAN
 from repro.temporal.schema import TemporalRegistry, TemporalTableInfo
 from repro.temporal.transform_util import clone, rewrite_expressions
 
@@ -124,6 +126,8 @@ class TemporalStratum:
         # whole two-phase path).
         self._transform_cache: dict = {}
         self.last_strategy: Optional[SlicingStrategy] = None
+        # the CostEstimate behind the most recent COST-mode decision
+        self.last_estimate = None
         # transaction clock: None tracks db.now; set a past date for
         # time-travel ("as of") reads of transaction-time tables
         self.transaction_clock: Optional[Date] = None
@@ -216,6 +220,10 @@ class TemporalStratum:
     ) -> Any:
         if isinstance(stmt, ast.TransactionStatement):
             return self.db.txn.execute_statement(stmt)
+        if isinstance(stmt, ast.ExplainStatement):
+            from repro.obs.explain import explain_statement
+
+            return explain_statement(self, stmt.statement, stmt.analyze, strategy)
         # one savepoint around the whole temporal statement: a sequenced
         # statement expands into many engine statements (the MAX
         # per-period CALL loop, PERST's delete+insert pairs, currency
@@ -223,8 +231,15 @@ class TemporalStratum:
         # partially-applied temporal operation behind
         txn = self.db.txn
         token = txn.mark()
+        tracer = self.db.tracer
+        span_cm = (
+            tracer.span("statement", sql=stmt.to_sql())
+            if tracer.enabled
+            else _NO_SPAN
+        )
         try:
-            result = self._execute_ast_inner(stmt, strategy)
+            with span_cm:
+                result = self._execute_ast_inner(stmt, strategy)
         except BaseException:
             txn.rollback_to(token)
             raise
@@ -390,18 +405,23 @@ class TemporalStratum:
             dml_result = self._execute_dml(stmt)
             if dml_result is not NotImplemented:
                 return dml_result
+        tracer = self.db.tracer
         key = self._cache_key("cur", stmt)
         cached = self._transform_fetch(key)
         if cached is not None:
+            with tracer.span("stratum.transform", strategy="current") as span:
+                span.set(cached=True)
             return self.db.execute_ast(cached)
-        self.db.stats.transforms += 1
-        if touches_vt:
-            result = transform_current(stmt, self.db.catalog, self.registry)
-            self._install_routines(result.routines)
-            stmt = result.statement
-        if touches_tt:
-            stmt = self._apply_transaction_currency(stmt)
-        self._transform_store(key, stmt)
+        with tracer.span("stratum.transform", strategy="current") as span:
+            span.set(cached=False)
+            self.db.stats.transforms += 1
+            if touches_vt:
+                result = transform_current(stmt, self.db.catalog, self.registry)
+                self._install_routines(result.routines)
+                stmt = result.statement
+            if touches_tt:
+                stmt = self._apply_transaction_currency(stmt)
+            self._transform_store(key, stmt)
         return self.db.execute_ast(stmt)
 
     def _execute_dml(self, stmt) -> Any:
@@ -483,7 +503,7 @@ class TemporalStratum:
             else:
                 table.set_cell(row, end_index, now)
                 table.insert(new_row)
-        self.db.stats.rows_written += len(matches)
+        self.db.stats.count_rows(len(matches), "current_rewrite")
         return len(matches)
 
     def _execute_current_delete(self, stmt: ast.Delete) -> int:
@@ -526,25 +546,26 @@ class TemporalStratum:
             table.set_cell(row, end_index, now)
         if count:
             table.replace_rows(kept)
-        self.db.stats.rows_written += count
+        self.db.stats.count_rows(count, "current_rewrite")
         return count
 
     def _execute_nonsequenced(self, stmt: ast.Statement, dimension: str = "VALID") -> Any:
-        plain = clone(stmt)
-        plain.modifier = None
-        self._refresh_inner_cp_tables(stmt)
-        # nonsequenced exposes the named dimension's timestamps raw, but
-        # the *other* dimension keeps its current semantics on tables
-        # that carry it
-        if dimension == "VALID":
-            if analysis.reads_temporal(plain, self.db.catalog, self.tt_registry):
-                plain = self._apply_transaction_currency(plain)
-        else:
-            if analysis.reads_temporal(plain, self.db.catalog, self.registry):
-                result = transform_current(plain, self.db.catalog, self.registry)
-                self._install_routines(result.routines)
-                plain = result.statement
-        return self.db.execute_ast(plain)
+        with self.db.tracer.span("stratum.nonsequenced", dim=dimension.lower()):
+            plain = clone(stmt)
+            plain.modifier = None
+            self._refresh_inner_cp_tables(stmt)
+            # nonsequenced exposes the named dimension's timestamps raw, but
+            # the *other* dimension keeps its current semantics on tables
+            # that carry it
+            if dimension == "VALID":
+                if analysis.reads_temporal(plain, self.db.catalog, self.tt_registry):
+                    plain = self._apply_transaction_currency(plain)
+            else:
+                if analysis.reads_temporal(plain, self.db.catalog, self.registry):
+                    result = transform_current(plain, self.db.catalog, self.registry)
+                    self._install_routines(result.routines)
+                    plain = result.statement
+            return self.db.execute_ast(plain)
 
     # ------------------------------------------------------------------
     # sequenced execution
@@ -629,7 +650,12 @@ class TemporalStratum:
             if not applicable:
                 strategy = SlicingStrategy.MAX
             else:
-                estimate = estimate_costs(stmt, self.db, registry, context)
+                # measured unit costs when the registry has samples,
+                # static calibration otherwise
+                estimate = estimate_costs(
+                    stmt, self.db, registry, context, obs=self.db.obs
+                )
+                self.last_estimate = estimate
                 strategy = (
                     SlicingStrategy.PERST
                     if estimate.prefers_perst
@@ -650,33 +676,47 @@ class TemporalStratum:
     ) -> Union[TemporalResult, list[TemporalResult]]:
         registry = registry if registry is not None else self.registry
         dim = "tt" if registry is self.tt_registry else "vt"
+        tracer = self.db.tracer
         key = self._cache_key("max", stmt, dim)
         cached = self._transform_fetch(key)
         if cached is not None:
             # context only drives the cp materialization (redone per
             # execution over the live data), never the transformation
-            temporal_tables, statement = cached
-            materialize_constant_periods(
-                self.db, temporal_tables, registry, context, MAX_CP_TABLE
-            )
+            with tracer.span("stratum.transform", strategy="max", dim=dim) as span:
+                span.set(cached=True)
+                temporal_tables, statement = cached
+            with tracer.span("stratum.constant_periods", cp_table=MAX_CP_TABLE) as span:
+                slices = materialize_constant_periods(
+                    self.db, temporal_tables, registry, context, MAX_CP_TABLE
+                )
+                span.set(slices=slices)
         else:
-            self.db.stats.transforms += 1
-            result = transform_query_max(
-                stmt, self.db.catalog, registry, MAX_CP_TABLE
-            )
-            materialize_constant_periods(
-                self.db, result.temporal_tables, registry, context, MAX_CP_TABLE
-            )
+            with tracer.span("stratum.transform", strategy="max", dim=dim) as span:
+                span.set(cached=False)
+                self.db.stats.transforms += 1
+                result = transform_query_max(
+                    stmt, self.db.catalog, registry, MAX_CP_TABLE
+                )
+            with tracer.span("stratum.constant_periods", cp_table=MAX_CP_TABLE) as span:
+                slices = materialize_constant_periods(
+                    self.db, result.temporal_tables, registry, context, MAX_CP_TABLE
+                )
+                span.set(slices=slices)
             self._install_routines(result.routines)
             statement = self._apply_other_dimension_currency(
                 result.statement, registry
             )
             self._transform_store(key, (result.temporal_tables, statement))
         if isinstance(statement, ast.Select):
-            engine_result = self.db.execute_ast(statement)
+            started = time.perf_counter()
+            with tracer.span("stratum.max.execute", slices=slices):
+                engine_result = self.db.execute_ast(statement)
+            self.db.obs.timer("stratum.max.slice_seconds").record(
+                time.perf_counter() - started, slices
+            )
             return TemporalResult(engine_result.columns, engine_result.rows)
         if isinstance(statement, ast.CallStatement):
-            return self._drive_max_call(statement, context)
+            return self._drive_max_call(statement, context, slices)
         raise TemporalError(
             f"sequenced {type(stmt).__name__} unsupported under MAX"
         )
@@ -700,7 +740,7 @@ class TemporalStratum:
         return statement
 
     def _drive_max_call(
-        self, call_stmt: ast.CallStatement, context: Period
+        self, call_stmt: ast.CallStatement, context: Period, slices: int = 0
     ) -> list[TemporalResult]:
         """Invoke the max_ procedure once per constant period (§V).
 
@@ -715,17 +755,36 @@ class TemporalStratum:
         per_period = clone(call_stmt)
         placeholder = ast.Literal(value=None)
         per_period.args = per_period.args + [placeholder]
-        for row in list(cp.rows):
-            begin, end = row[0], row[1]
-            placeholder.value = begin
-            results = self.db.execute_ast(per_period)
-            for index, result in enumerate(results or []):
-                columns = result.columns + ["begin_time", "end_time"]
-                rows = [list(r) + [begin, end] for r in result.rows]
-                if index < len(stamped):
-                    stamped[index].rows.extend(rows)
+        tracer = self.db.tracer
+        stats = self.db.stats
+        calls_before = stats.total_routine_calls
+        started = time.perf_counter()
+        with tracer.span("stratum.max.loop", slices=slices):
+            for row in list(cp.rows):
+                begin, end = row[0], row[1]
+                placeholder.value = begin
+                if tracer.enabled:
+                    with tracer.span(
+                        "stratum.max.period",
+                        begin=begin.to_iso(), end=end.to_iso(),
+                    ):
+                        results = self.db.execute_ast(per_period)
                 else:
-                    stamped.append(TemporalResult(columns, rows))
+                    results = self.db.execute_ast(per_period)
+                for index, result in enumerate(results or []):
+                    columns = result.columns + ["begin_time", "end_time"]
+                    rows = [list(r) + [begin, end] for r in result.rows]
+                    if index < len(stamped):
+                        stamped[index].rows.extend(rows)
+                    else:
+                        stamped.append(TemporalResult(columns, rows))
+        # one aggregate timing for the whole loop feeds the measured-cost
+        # heuristic with per-slice and per-invocation means
+        elapsed = time.perf_counter() - started
+        self.db.obs.timer("stratum.max.slice_seconds").record(elapsed, slices)
+        self.db.obs.timer("stratum.max.invocation_seconds").record(
+            elapsed, stats.total_routine_calls - calls_before
+        )
         return stamped
 
     # -- PERST --------------------------------------------------------------
@@ -738,38 +797,59 @@ class TemporalStratum:
     ) -> Union[TemporalResult, list[TemporalResult]]:
         registry = registry if registry is not None else self.registry
         dim = "tt" if registry is self.tt_registry else "vt"
+        tracer = self.db.tracer
         # the context is substituted into the statement as literals, so
         # unlike MAX it is part of the key
         key = self._cache_key("perst", stmt, dim, context.begin, context.end)
         cached = self._transform_fetch(key)
         if cached is not None:
             cp_requirements, statement = cached
+            with tracer.span("stratum.transform", strategy="perst", dim=dim) as span:
+                span.set(cached=True)
             for cp_table, tables in cp_requirements.items():
-                materialize_constant_periods(
-                    self.db, tables, registry, context, cp_table
-                )
+                with tracer.span("stratum.constant_periods", cp_table=cp_table) as span:
+                    span.set(slices=materialize_constant_periods(
+                        self.db, tables, registry, context, cp_table
+                    ))
         else:
-            self.db.stats.transforms += 1
-            transformer = PerstTransformer(self.db.catalog, registry)
-            result = transformer.transform(stmt)
+            with tracer.span("stratum.transform", strategy="perst", dim=dim) as span:
+                span.set(cached=False)
+                self.db.stats.transforms += 1
+                transformer = PerstTransformer(self.db.catalog, registry)
+                result = transformer.transform(stmt)
             for cp_table, tables in result.cp_requirements.items():
-                materialize_constant_periods(
-                    self.db, tables, registry, context, cp_table
-                )
+                with tracer.span("stratum.constant_periods", cp_table=cp_table) as span:
+                    span.set(slices=materialize_constant_periods(
+                        self.db, tables, registry, context, cp_table
+                    ))
             self._install_routines(result.routines)
             statement = clone(result.statement)
             substitute_context(statement, context)
             statement = self._apply_other_dimension_currency(statement, registry)
             self._transform_store(key, (result.cp_requirements, statement))
-        if isinstance(statement, ast.Select):
-            engine_result = self.db.execute_ast(statement)
-            return TemporalResult(engine_result.columns, engine_result.rows)
-        if isinstance(statement, ast.CallStatement):
-            results = self.db.execute_ast(statement) or []
-            return [TemporalResult(r.columns, r.rows) for r in results]
-        raise TemporalError(
-            f"sequenced {type(stmt).__name__} unsupported under PERST"
+        data_rows = sum(
+            len(self.db.catalog.get_table(name))
+            for name in analysis.reachable_temporal_tables(
+                stmt, self.db.catalog, registry
+            )
         )
+        started = time.perf_counter()
+        with tracer.span("stratum.perst.execute", rows=data_rows):
+            if isinstance(statement, ast.Select):
+                engine_result = self.db.execute_ast(statement)
+                outcome = TemporalResult(engine_result.columns, engine_result.rows)
+            elif isinstance(statement, ast.CallStatement):
+                results = self.db.execute_ast(statement) or []
+                outcome = [TemporalResult(r.columns, r.rows) for r in results]
+            else:
+                raise TemporalError(
+                    f"sequenced {type(stmt).__name__} unsupported under PERST"
+                )
+        # per-row mean over the temporal data PERST passes over once
+        self.db.obs.timer("stratum.perst.row_seconds").record(
+            time.perf_counter() - started, data_rows
+        )
+        return outcome
 
     # ------------------------------------------------------------------
     # plumbing

@@ -175,7 +175,7 @@ class TransactionTimeDml:
             else:
                 table.set_cell(row, stop_index, clock)
                 table.insert(new_row)
-        self.db.stats.rows_written += len(matches)
+        self.db.stats.count_rows(len(matches), "tt_maintenance")
         return len(matches)
 
     def _close_matching(
@@ -208,5 +208,5 @@ class TransactionTimeDml:
             table.set_cell(row, stop_index, clock)
         if count:
             table.replace_rows(kept)
-        self.db.stats.rows_written += count
+        self.db.stats.count_rows(count, "tt_maintenance")
         return count

@@ -140,6 +140,57 @@ def test_random_histories_commutativity(fact, dim):
 
 
 @settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(fact=versions, dim=versions, query_index=st.integers(0, len(QUERIES) - 1))
+def test_random_histories_explain_analyze(fact, dim, query_index):
+    """Observability must not perturb semantics: for every fuzzed
+    statement, EXPLAIN ANALYZE (which executes under tracing) returns
+    the same temporal relation as the untraced run, and the counts it
+    reports agree with the metrics registry and the span tree."""
+    from repro.temporal.constant_periods import compute_constant_periods
+
+    stratum = build_stratum(fact, dim)
+    query = QUERIES[query_index]
+    sequenced = (
+        f"VALIDTIME [DATE '{Date(CONTEXT.begin).to_iso()}',"
+        f" DATE '{Date(CONTEXT.end).to_iso()}'] " + query
+    )
+    for strategy in (SlicingStrategy.MAX, SlicingStrategy.PERST):
+        assert stratum.db.tracer.enabled is False
+        plain = stratum.execute(sequenced, strategy=strategy).coalesced()
+        obs = stratum.db.obs
+        stats = stratum.db.stats
+        slices_before = obs.value("stratum.slices")
+        calls_before = stats.total_routine_calls
+        analyzed = stratum.execute(
+            "EXPLAIN ANALYZE " + sequenced, strategy=strategy
+        )
+        # identical results with tracing on and off
+        assert sorted(analyzed.result.coalesced()) == sorted(plain)
+        # tracer state restored
+        assert stratum.db.tracer.enabled is False
+        # slice accounting is internally consistent
+        slices = obs.value("stratum.slices") - slices_before
+        if strategy is SlicingStrategy.MAX:
+            tables = ["fact"] if "dim" not in query else ["fact", "dim"]
+            expected = len(
+                compute_constant_periods(
+                    stratum.db, tables, stratum.registry, CONTEXT
+                )
+            )
+            assert slices == expected
+            root = stratum.db.tracer.last_root
+            assert root.find("stratum.constant_periods").attrs["slices"] == slices
+        # routine invocations in the span tree match the engine counter
+        calls = stats.total_routine_calls - calls_before
+        root = stratum.db.tracer.last_root
+        assert len(root.find_all("routine")) == calls
+
+
+@settings(
     max_examples=15,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],

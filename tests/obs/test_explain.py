@@ -1,0 +1,213 @@
+"""EXPLAIN rendering: golden snapshots and the ANALYZE report.
+
+Golden files live in ``tests/obs/golden/``; regenerate them after an
+intentional output change with::
+
+    TAUPSM_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_explain.py
+
+Only plain ``EXPLAIN`` output is snapshotted — it is fully
+deterministic (no timings).  ``EXPLAIN ANALYZE`` is asserted
+structurally instead: the measured section must report the slice
+count, per-slice wall time, routine invocations and cache traffic the
+acceptance bar names.
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import context_bounds
+from repro.obs.explain import ExplainResult
+from repro.taubench import get_query
+from repro.temporal import SlicingStrategy
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+
+GOLDEN = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("TAUPSM_UPDATE_GOLDEN") == "1"
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDEN / f"{name}.txt"
+    if UPDATE:
+        GOLDEN.mkdir(exist_ok=True)
+        path.write_text(text + "\n")
+    assert path.exists(), (
+        f"golden file missing: {path} — regenerate with TAUPSM_UPDATE_GOLDEN=1"
+    )
+    assert text + "\n" == path.read_text(), (
+        f"EXPLAIN output drifted from {path.name};"
+        " regenerate with TAUPSM_UPDATE_GOLDEN=1 if intentional"
+    )
+
+
+@pytest.fixture
+def stratum():
+    s = make_bookstore()
+    s.register_routine(GET_AUTHOR_NAME)
+    return s
+
+
+RUNNING_EXAMPLE = (
+    "EXPLAIN VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+    " SELECT get_author_name('a1') AS name FROM item"
+)
+
+
+class TestGoldenRunningExample:
+    def test_max(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE, strategy=SlicingStrategy.MAX)
+        check_golden("running_example_max", result.text())
+
+    def test_perst(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE, strategy=SlicingStrategy.PERST)
+        check_golden("running_example_perst", result.text())
+
+    def test_auto_reports_heuristic_rule(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE)
+        check_golden("running_example_auto", result.text())
+
+    def test_current(self, stratum):
+        result = stratum.execute("EXPLAIN SELECT get_author_name('a1') AS n")
+        check_golden("running_example_current", result.text())
+
+    def test_nonsequenced(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN NONSEQUENCED VALIDTIME SELECT id, begin_time FROM item"
+        )
+        check_golden("running_example_nonsequenced", result.text())
+
+
+class TestGoldenBenchmarkQueries:
+    """Three τPSM queries on DS1-SMALL (deterministic generator).
+
+    A private dataset, not the session-shared one: the engine-plan
+    section shows a cached plan when execution has already bound one,
+    so the snapshot is only deterministic from a cold cache.
+    """
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.taubench import build_dataset
+
+        return build_dataset("DS1", "SMALL")
+
+    @pytest.mark.parametrize("name", ["q2", "q10", "q14"])
+    def test_query(self, dataset, name):
+        query = get_query(name)
+        query.install(dataset)
+        begin, end = context_bounds(dataset, 90)
+        sql = query.sequenced_sql(dataset, begin, end)
+        result = dataset.stratum.execute("EXPLAIN " + sql)
+        check_golden(f"taubench_{name}", result.text())
+
+
+class TestExplainSemantics:
+    def test_explain_is_side_effect_free(self, stratum):
+        stats = stratum.db.stats
+        statements_before = stats.statements
+        rows_before = stats.rows_written
+        result = stratum.execute(RUNNING_EXAMPLE)
+        assert isinstance(result, ExplainResult)
+        assert result.result is None  # nothing executed
+        assert stats.rows_written == rows_before
+        # only the EXPLAIN statement itself was counted, not the target
+        assert stats.statements <= statements_before + 1
+
+    def test_explain_duck_types_a_result_set(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE)
+        assert result.columns == ["plan"]
+        assert [row[0] for row in result.rows] == result.lines
+        assert len(result) == len(result.lines)
+
+    def test_requested_strategy_line(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE, strategy=SlicingStrategy.MAX)
+        assert "strategy: max (requested)" in result.lines
+
+    def test_cost_strategy_reports_model_numbers(self, stratum):
+        result = stratum.execute(RUNNING_EXAMPLE, strategy=SlicingStrategy.COST)
+        line = next(l for l in result.lines if l.startswith("strategy:"))
+        assert "cost model" in line and "max=" in line and "perst=" in line
+
+    def test_sequenced_modification(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " UPDATE item SET price = 1.0 WHERE id = 'i1'"
+        )
+        assert any("sequenced modification" in l for l in result.lines)
+        # and nothing was modified
+        prices = stratum.db.execute("SELECT price FROM item WHERE id = 'i1'")
+        assert all(row[0] != 1.0 for row in prices.rows)
+
+    def test_conventional_statement_explains_engine_plan(self, stratum):
+        result = stratum.db.execute("EXPLAIN SELECT 1 AS one")
+        assert isinstance(result, ExplainResult)
+        assert any(line.startswith("engine plan:") for line in result.lines)
+
+
+class TestExplainAnalyze:
+    """The acceptance bar: EXPLAIN ANALYZE on a sequenced query reports
+    slice count, per-slice wall time, routine invocations and
+    plan/transform cache hits."""
+
+    def test_reports_all_measured_facts(self, stratum):
+        sql = (
+            "EXPLAIN ANALYZE VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT get_author_name('a1') AS name FROM item"
+        )
+        # run twice so the second pass exercises both caches
+        stratum.execute(sql, strategy=SlicingStrategy.MAX)
+        result = stratum.execute(sql, strategy=SlicingStrategy.MAX)
+        text = result.text()
+        slices = re.search(r"slices: (\d+) \(mean ([\d.]+)ms/slice\)", text)
+        assert slices, text
+        assert int(slices.group(1)) > 0
+        calls = re.search(r"routine invocations: (\d+)", text)
+        assert calls and int(calls.group(1)) > 0
+        assert re.search(r"wall time: [\d.]+ms", text)
+        assert re.search(r"plan cache hits: \d+", text)
+        assert re.search(r"transform cache hits: \d+", text)
+        assert re.search(r"rows scanned: \d+", text)
+
+    def test_executes_and_keeps_the_result(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN ANALYZE VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT get_author_name('a1') AS name FROM item",
+            strategy=SlicingStrategy.MAX,
+        )
+        assert result.result is not None
+        names = {values[0] for values, _ in result.result.coalesced()}
+        assert names == {"Ben", "Benjamin"}
+
+    def test_trace_tree_is_rendered(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN ANALYZE VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT i.id FROM item i",
+            strategy=SlicingStrategy.PERST,
+        )
+        text = result.text()
+        assert "trace:" in text
+        assert "stratum.transform" in text
+        assert "stratum.perst.execute" in text
+
+    def test_tracer_state_restored(self, stratum):
+        assert stratum.db.tracer.enabled is False
+        stratum.execute(
+            "EXPLAIN ANALYZE VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT i.id FROM item i"
+        )
+        assert stratum.db.tracer.enabled is False
+
+    def test_analyze_slice_count_matches_registry(self, stratum):
+        obs = stratum.db.obs
+        before = obs.value("stratum.slices")
+        result = stratum.execute(
+            "EXPLAIN ANALYZE VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT i.id FROM item i",
+            strategy=SlicingStrategy.MAX,
+        )
+        delta = obs.value("stratum.slices") - before
+        reported = re.search(r"slices: (\d+) ", result.text())
+        assert reported and int(reported.group(1)) == delta

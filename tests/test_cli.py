@@ -133,3 +133,83 @@ class TestLoadDataset:
         shell.meta(".load DS1 SMALL")
         output = run(shell, "SELECT COUNT(*) FROM publisher;")
         assert "(1 row)" in output
+
+
+class TestObservabilityCommands:
+    def _setup(self, shell):
+        run(shell, "CREATE TABLE t (a INTEGER);")
+        run(shell, "ALTER TABLE t ADD VALIDTIME;")
+        run(shell, ".now 2010-06-01")
+        run(shell, "INSERT INTO t (a) VALUES (7);")
+
+    def test_metrics_lists_counters(self, shell):
+        self._setup(shell)
+        output = shell.meta(".metrics")
+        assert "engine.rows_written.insert" in output
+
+    def test_trace_toggle_and_render(self, shell):
+        self._setup(shell)
+        assert shell.meta(".trace on") == "tracing on"
+        run(
+            shell,
+            "VALIDTIME [DATE '2010-06-01', DATE '2010-06-10'] SELECT a FROM t;",
+        )
+        output = shell.meta(".trace")
+        assert "statement" in output and "stratum.transform" in output
+        assert shell.meta(".trace off") == "tracing off"
+
+    def test_trace_without_capture(self, shell):
+        assert "no trace captured" in shell.meta(".trace")
+
+    def test_explain_statement_in_shell(self, shell):
+        self._setup(shell)
+        output = run(
+            shell,
+            "EXPLAIN VALIDTIME [DATE '2010-06-01', DATE '2010-06-10']"
+            " SELECT a FROM t;",
+        )
+        assert "semantics: sequenced valid time" in output
+        assert "strategy:" in output
+
+
+class TestSubcommands:
+    SQL = (
+        "VALIDTIME [DATE '2009-01-01', DATE '2009-03-01']"
+        " SELECT i.id FROM item AS i"
+    )
+
+    def test_explain_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["explain", "--load", "DS1", "SMALL", self.SQL])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semantics: sequenced valid time" in out
+        assert "transformed SQL:" in out
+
+    def test_explain_analyze_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["explain", "--analyze", "--strategy", "max",
+             "--load", "DS1", "SMALL", self.SQL]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy: max (requested)" in out
+        assert "measured:" in out and "wall time:" in out
+
+    def test_trace_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["trace", "--load", "DS1", "SMALL", self.SQL])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "statement" in out
+        assert "stratum" in out
+
+    def test_subcommand_error_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "SELECT FROM WHERE"]) == 1
+        assert main(["trace", "SELECT a FROM nope"]) == 1
