@@ -1,0 +1,129 @@
+"""WAL overhead: commit throughput and the cost of the disabled path.
+
+Three insert workloads — durability off, WAL buffered (no fsync), WAL
+with full fsync discipline — plus a read-only query cell with and
+without durability attached (reads never log, so that ratio is the pure
+cost of the ``txn.wal is not None`` checks sitting in the primitives).
+Emits ``BENCH_wal_overhead.json``.
+
+The design target is on the disabled paths: a database that never
+attaches durability, and reads on one that has, must pay (near)
+nothing.  fsync throughput is hardware truth and is reported, not
+bounded.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.bench.harness import run_cell
+from repro.sqlengine.engine import Database
+from repro.taubench import get_query
+from repro.taubench.io import copy_dataset_into
+from repro.temporal.stratum import SlicingStrategy, TemporalStratum
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_wal_overhead.json"
+ROWS = 400
+ROUNDS = 3
+CONTEXT_DAYS = 30
+
+
+def _time_inserts(make_db):
+    best = None
+    for _ in range(ROUNDS):
+        db = make_db()
+        db.execute("CREATE TABLE bench (id INTEGER, pad CHAR(20))")
+        start = time.perf_counter()
+        for i in range(ROWS):
+            db.execute(f"INSERT INTO bench VALUES ({i}, 'padpadpad')")
+        elapsed = time.perf_counter() - start
+        db.close()
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _time_query(dataset, query):
+    best = None
+    for _ in range(ROUNDS):
+        cell = run_cell(
+            dataset, query, SlicingStrategy.MAX, CONTEXT_DAYS, warm=True
+        )
+        assert cell.ok, cell.error
+        if best is None or cell.seconds < best.seconds:
+            best = cell
+    return best
+
+
+def test_wal_overhead(benchmark, ds1_small, tmp_path):
+    counter = [0]
+
+    def durable(sync):
+        def make():
+            counter[0] += 1
+            return Database.open(
+                tmp_path / f"d{counter[0]}", sync=sync,
+                auto_checkpoint_bytes=1 << 40,
+            )
+
+        return make
+
+    off_seconds = benchmark.pedantic(
+        lambda: _time_inserts(Database), rounds=1, iterations=1
+    )
+    buffered_seconds = _time_inserts(durable(False))
+    synced_seconds = _time_inserts(durable(True))
+
+    # checkpoint cost for the workload's WAL
+    db = Database.open(tmp_path / "ckpt", sync=False)
+    db.execute("CREATE TABLE bench (id INTEGER, pad CHAR(20))")
+    for i in range(ROWS):
+        db.execute(f"INSERT INTO bench VALUES ({i}, 'padpadpad')")
+    wal_bytes = db.durability.wal_size()
+    start = time.perf_counter()
+    db.checkpoint()
+    checkpoint_seconds = time.perf_counter() - start
+    db.close(checkpoint=False)
+
+    # read path: identical query cell, durability attached vs not
+    query = get_query("q2")
+    plain_cell = _time_query(ds1_small, query)
+    durable_ds = copy_dataset_into(
+        TemporalStratum.open(tmp_path / "ds"), ds1_small
+    )
+    durable_cell = _time_query(durable_ds, query)
+    durable_ds.stratum.close()
+    read_ratio = durable_cell.seconds / plain_cell.seconds
+
+    payload = {
+        "rows": ROWS,
+        "insert_off_seconds": off_seconds,
+        "insert_wal_buffered_seconds": buffered_seconds,
+        "insert_wal_fsync_seconds": synced_seconds,
+        "wal_buffered_over_off": buffered_seconds / off_seconds,
+        "wal_fsync_over_off": synced_seconds / off_seconds,
+        "checkpoint_seconds": checkpoint_seconds,
+        "checkpoint_wal_bytes": wal_bytes,
+        "read_query": query.name,
+        "read_plain_seconds": plain_cell.seconds,
+        "read_durable_seconds": durable_cell.seconds,
+        "read_durable_over_plain": read_ratio,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print_report(
+        f"WAL overhead ({ROWS} autocommit inserts; best of {ROUNDS}):\n"
+        f"  durability off:       {off_seconds:.3f}s\n"
+        f"  WAL, no fsync:        {buffered_seconds:.3f}s"
+        f"  ({payload['wal_buffered_over_off']:.2f}x)\n"
+        f"  WAL, fsync/commit:    {synced_seconds:.3f}s"
+        f"  ({payload['wal_fsync_over_off']:.2f}x)\n"
+        f"  checkpoint of {wal_bytes}B WAL: {checkpoint_seconds*1e3:.1f}ms\n"
+        f"  read {query.name} durable/plain: {read_ratio:.2f}x"
+        f"  -> {OUTPUT.name}"
+    )
+    # identical answers regardless of durability
+    assert durable_cell.rows == plain_cell.rows
+    assert durable_cell.slices == plain_cell.slices
+    # reads never touch the log
+    assert read_ratio < 1.25, "disabled-path read overhead regressed"

@@ -148,10 +148,13 @@ def trace_summary(db) -> dict:
     slice counts, per-slice/per-invocation timing means, rows
     scanned/written by source, cache traffic, undo-log depth.
     """
-    return {
+    summary = {
         "stats": db.stats.snapshot(),
         "metrics": db.obs.snapshot(),
     }
+    if db.durability is not None:
+        summary["wal"] = db.durability.state()
+    return summary
 
 
 def _fmt(cell: Optional[CellResult], metric: str) -> str:

@@ -21,7 +21,9 @@ Meta-commands (a leading dot):
 ``.stats``         engine counters
 ``.metrics``       the observability registry (hierarchical snapshot)
 ``.trace [on|off]``toggle tracing, or show the last statement's span tree
-``.quit``          exit
+``.save``          checkpoint the durable database (``--db`` sessions)
+``.checkpoint``    alias for ``.save``
+``.quit``          exit (checkpoints first under ``--db``)
 =================  ========================================================
 
 Statements may span lines; end them with a semicolon.  ``EXPLAIN
@@ -30,6 +32,11 @@ available non-interactively::
 
     python -m repro explain --load DS1 SMALL "VALIDTIME SELECT ..."
     python -m repro trace   --load DS1 SMALL "VALIDTIME SELECT ..."
+
+``--db PATH`` (shell and subcommands) opens a durable database at
+``PATH``: committed statements are write-ahead logged, ``.save`` writes
+a checkpoint, and the next ``--db PATH`` session recovers the state —
+including temporal registrations and routines — even after a crash.
 """
 
 from __future__ import annotations
@@ -98,11 +105,25 @@ def format_result(result: Any) -> str:
 class Shell:
     """The REPL engine, separated from I/O for testability."""
 
-    def __init__(self, stratum: Optional[TemporalStratum] = None) -> None:
-        self.stratum = stratum if stratum is not None else TemporalStratum()
+    def __init__(
+        self,
+        stratum: Optional[TemporalStratum] = None,
+        db_path: Optional[str] = None,
+    ) -> None:
+        if stratum is None:
+            stratum = (
+                TemporalStratum.open(db_path)
+                if db_path is not None
+                else TemporalStratum()
+            )
+        self.stratum = stratum
         self.strategy = SlicingStrategy.AUTO
         self.buffer: list[str] = []
         self.done = False
+
+    @property
+    def durable(self) -> bool:
+        return self.stratum.db.durability is not None
 
     # -- line protocol ------------------------------------------------------
 
@@ -148,7 +169,15 @@ class Shell:
         argument = parts[1].strip() if len(parts) > 1 else ""
         if command in (".quit", ".exit"):
             self.done = True
+            if self.durable:
+                try:
+                    self.stratum.close()
+                except SqlError as exc:
+                    return f"error while checkpointing: {exc}\nbye"
+                return "checkpointed; bye"
             return "bye"
+        if command in (".save", ".checkpoint"):
+            return self._save()
         if command == ".help":
             return __doc__.split("Meta-commands")[1]
         if command == ".tables":
@@ -270,6 +299,19 @@ class Shell:
             return f"tracing is {state}; no trace captured yet"
         return tracer.last_root.render()
 
+    def _save(self) -> str:
+        if not self.durable:
+            return "error: no durable database attached (start with --db PATH)"
+        try:
+            generation = self.stratum.checkpoint()
+        except SqlError as exc:
+            return f"error: {exc}"
+        manager = self.stratum.db.durability
+        return (
+            f"checkpoint written to {manager.snapshot_path}"
+            f" (generation {generation}, WAL truncated)"
+        )
+
     def _load(self, argument: str) -> str:
         parts = argument.split()
         name = parts[0] if parts else "DS1"
@@ -280,7 +322,17 @@ class Shell:
             dataset = build_dataset(name, size)
         except ValueError as exc:
             return f"error: {exc}"
-        self.stratum = dataset.stratum
+        if self.durable:
+            # keep the durable stratum: copy the dataset into it so the
+            # load itself is WAL-logged and survives reopening
+            from repro.taubench.io import copy_dataset_into
+
+            try:
+                dataset = copy_dataset_into(self.stratum, dataset)
+            except SqlError as exc:
+                return f"error: {exc}"
+        else:
+            self.stratum = dataset.stratum
         return (
             f"loaded {dataset.spec.key}: {dataset.total_rows()} rows across"
             f" six temporal tables (probe item {dataset.probe_item_id},"
@@ -288,8 +340,8 @@ class Shell:
         )
 
 
-def _build_shell(load: Optional[str]) -> Shell:
-    shell = Shell()
+def _build_shell(load: Optional[str], db_path: Optional[str] = None) -> Shell:
+    shell = Shell(db_path=db_path)
     if load:
         output = shell._load(load.replace("-", " "))
         if output.startswith("error:"):
@@ -323,12 +375,18 @@ def run_subcommand(argv: list[str]) -> int:
             help="load a τPSM dataset first (e.g. --load DS1 SMALL)",
         )
         p.add_argument(
+            "--db", metavar="PATH",
+            help="open a durable database directory (recovers on open)",
+        )
+        p.add_argument(
             "--strategy", default="auto", choices=["auto", "max", "perst", "cost"],
         )
         if name == "explain":
             p.add_argument("--analyze", action="store_true")
     args = parser.parse_args(argv)
-    shell = _build_shell(" ".join(args.load) if args.load else None)
+    shell = _build_shell(
+        " ".join(args.load) if args.load else None, db_path=args.db
+    )
     stratum = shell.stratum
     strategy = SlicingStrategy(args.strategy)
     sql = args.sql.rstrip(";")
@@ -352,6 +410,8 @@ def run_subcommand(argv: list[str]) -> int:
     except SqlError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        shell.stratum.db.close()
     return 0
 
 
@@ -360,8 +420,20 @@ def main(argv: Optional[list[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if argv and argv[0] in ("explain", "trace"):
         return run_subcommand(argv)
-    shell = Shell()
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro")
+    parser.add_argument(
+        "--db", metavar="PATH",
+        help="open a durable database directory (recovers on open;"
+        " checkpointed on .quit)",
+    )
+    args = parser.parse_args(argv)
+    shell = Shell(db_path=args.db)
     print("Temporal SQL/PSM shell — .help for commands, .quit to exit")
+    if shell.durable:
+        manager = shell.stratum.db.durability
+        print(f"durable database at {manager.dir} (generation {manager.generation})")
     try:
         while not shell.done:
             try:
@@ -374,6 +446,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                 print(output)
     except KeyboardInterrupt:
         print()
+    finally:
+        shell.stratum.db.close()
     return 0
 
 

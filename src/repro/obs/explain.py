@@ -372,6 +372,16 @@ def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
         if delta:
             lines.append(f"  {label}: {delta}")
     lines.append(f"  result rows: {_result_rows(result)}")
+    if db.durability is not None:
+        state = db.durability.state()
+        lines.append(
+            "  wal: generation"
+            f" {state['generation']},"
+            f" {state['records_written']} records"
+            f" / {state['bytes_written']} bytes written,"
+            f" {state['fsyncs']} fsyncs,"
+            f" {state['checkpoints']} checkpoints"
+        )
     if tracer.last_root is not None:
         lines.append("trace:")
         lines.extend(

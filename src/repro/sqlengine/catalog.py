@@ -87,6 +87,9 @@ class Catalog:
             raise CatalogError(f"table or view {table.name} already exists")
         self._guard("catalog.add_table", table.name, "cat_table", key,
                     self._tables.get(key))
+        txn = self.txn
+        if txn is not None and txn.wal is not None and not table.temporary:
+            txn.wal.record_create_table(table)
         table.txn = self.txn
         self._tables[key] = table
         if not table.temporary:
@@ -107,6 +110,9 @@ class Catalog:
         if table is None:
             raise CatalogError(f"no such table: {name}")
         self._guard("catalog.drop_table", name, "cat_table", key, table)
+        txn = self.txn
+        if txn is not None and txn.wal is not None and not table.temporary:
+            txn.wal.record_drop_table(table.name)
         del self._tables[key]
         if not table.temporary:
             self.schema_version += 1
@@ -121,6 +127,9 @@ class Catalog:
         if not replace and (key in self._views or key in self._tables):
             raise CatalogError(f"table or view {name} already exists")
         self._guard("catalog.add_view", name, "cat_view", key, self._views.get(key))
+        txn = self.txn
+        if txn is not None and txn.wal is not None:
+            txn.wal.record_view(name, select.to_sql())
         self._views[key] = select
         self.schema_version += 1
 
@@ -136,6 +145,9 @@ class Catalog:
         if select is None:
             raise CatalogError(f"no such view: {name}")
         self._guard("catalog.drop_view", name, "cat_view", key, select)
+        txn = self.txn
+        if txn is not None and txn.wal is not None:
+            txn.wal.record_drop_view(name)
         del self._views[key]
         self.schema_version += 1
 
@@ -147,6 +159,9 @@ class Catalog:
             raise CatalogError(f"routine {routine.name} already exists")
         existing = self._routines.get(key)
         self._guard("catalog.add_routine", routine.name, "cat_routine", key, existing)
+        txn = self.txn
+        if txn is not None and txn.wal is not None:
+            txn.wal.record_routine(routine.definition.to_sql())
         self._routines[key] = routine
         if existing is None or existing.definition is not routine.definition:
             self.schema_version += 1
@@ -166,6 +181,9 @@ class Catalog:
         if routine is None:
             raise CatalogError(f"no such routine: {name}")
         self._guard("catalog.drop_routine", name, "cat_routine", key, routine)
+        txn = self.txn
+        if txn is not None and txn.wal is not None:
+            txn.wal.record_drop_routine(name)
         del self._routines[key]
         self.schema_version += 1
 

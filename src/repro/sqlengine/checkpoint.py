@@ -1,0 +1,144 @@
+"""Checkpointing: serialize the whole database, then truncate the WAL.
+
+A checkpoint is the durability layer's compaction step: everything the
+WAL would replay is folded into one ``snapshot.json`` so recovery costs
+O(state) instead of O(history).
+
+Write protocol (crash-safe at every step):
+
+1. Build the snapshot payload at generation ``N+1`` and write it to a
+   temporary file, ``fsync``.
+2. Atomically rename it over ``snapshot.json`` and ``fsync`` the
+   directory — from this instant the snapshot is the recovery base.
+3. Reset ``wal.log`` to a fresh file whose header carries generation
+   ``N+1``.
+
+A crash between steps 2 and 3 leaves the *old* WAL (generation ``N``)
+next to the *new* snapshot (generation ``N+1``); recovery compares the
+generations and ignores the stale log, so committed work is never
+applied twice.  A crash before step 2 leaves the old snapshot + old WAL
+pair untouched.
+
+Snapshot contents: catalog tables (column metadata + rows; temporary
+tables excluded), views and routines (as SQL text), the temporal
+registries of a bound stratum, the stratum's nonsequenced-only routine
+bookkeeping, and CURRENT_DATE.  The payload is guarded by a CRC header
+line so a torn snapshot is detected and rejected at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sqlengine.wal import WalError, encode_row
+
+SNAPSHOT_MAGIC = "TAUPSM-SNAPSHOT-1"
+
+
+def build_snapshot(manager) -> dict[str, Any]:
+    """The JSON-able state of ``manager``'s database (+ bound stratum)."""
+    db = manager.db
+    catalog = db.catalog
+    tables = []
+    for table in catalog.tables():
+        if table.temporary:
+            continue
+        tables.append(
+            {
+                "name": table.name,
+                "columns": [
+                    [
+                        c.name,
+                        [c.type.name, c.type.length, c.type.precision, c.type.scale],
+                        c.not_null,
+                        c.primary_key,
+                    ]
+                    for c in table.columns
+                ],
+                "rows": [encode_row(r) for r in table.rows],
+            }
+        )
+    payload: dict[str, Any] = {
+        "magic": SNAPSHOT_MAGIC,
+        "generation": manager.generation + 1,
+        "now": db.now.ordinal,
+        "txn_counter": manager.txn_counter,
+        "tables": tables,
+        "views": [
+            [name, select.to_sql()] for name, select in catalog._views.items()
+        ],
+        "routines": [
+            [routine.kind, routine.definition.to_sql()]
+            for routine in catalog.routines()
+        ],
+        "registries": {
+            dim: [
+                [info.name, info.begin_column, info.end_column]
+                for info in registry.infos()
+            ]
+            for dim, registry in manager.registries.items()
+        },
+    }
+    stratum = manager.stratum
+    if stratum is not None:
+        payload["stratum"] = {
+            "nonseq_only": sorted(stratum._nonseq_only_routines),
+            "inner_cp": {
+                cp: list(tables_)
+                for cp, tables_ in stratum._inner_cp_requirements.items()
+            },
+        }
+    return payload
+
+
+def write_checkpoint(manager) -> int:
+    """Write a snapshot atomically, then reset the WAL.  Returns the
+    new generation."""
+    payload = build_snapshot(manager)
+    generation = payload["generation"]
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    header = f"{SNAPSHOT_MAGIC} {zlib.crc32(body):08x}\n".encode("ascii")
+    tmp_path = manager.snapshot_path.with_suffix(".json.tmp")
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, manager.snapshot_path)
+    _fsync_dir(manager.dir)
+    manager.reset_wal(generation)
+    manager.obs.inc("checkpoint.writes", 1)
+    manager.obs.inc("checkpoint.bytes", len(body))
+    return generation
+
+
+def load_snapshot(path: Path) -> Optional[dict[str, Any]]:
+    """Load and validate a snapshot; None when absent, raises on corruption."""
+    if not path.exists():
+        return None
+    raw = path.read_bytes()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise WalError(f"{path.name}: truncated snapshot header")
+    header = raw[:newline].decode("ascii", errors="replace").split()
+    if len(header) != 2 or header[0] != SNAPSHOT_MAGIC:
+        raise WalError(f"{path.name}: not a {SNAPSHOT_MAGIC} snapshot")
+    body = raw[newline + 1 :]
+    if f"{zlib.crc32(body):08x}" != header[1]:
+        raise WalError(f"{path.name}: snapshot checksum mismatch")
+    payload = json.loads(body.decode("utf-8"))
+    if payload.get("magic") != SNAPSHOT_MAGIC:
+        raise WalError(f"{path.name}: snapshot payload magic mismatch")
+    return payload
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

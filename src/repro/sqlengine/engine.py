@@ -14,6 +14,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.errors import ExecutionError
 from repro.sqlengine.executor import Executor, ResultSet
 from repro.sqlengine.parser import parse_script, parse_statement
 from repro.sqlengine.txn import TransactionManager
@@ -161,7 +162,11 @@ class Database:
         self.obs = MetricsRegistry()
         self.tracer = Tracer()
         self.stats = EngineStats(self.obs)
-        self.now = now if now is not None else Date.from_ymd(2011, 1, 1)
+        # durability: None until attach_durability wires a WAL +
+        # checkpoint directory (DESIGN.md §3.4); must exist before the
+        # `now` property setter runs below
+        self.durability = None
+        self._now = now if now is not None else Date.from_ymd(2011, 1, 1)
         self._executor = Executor(self)
         # per-top-level-statement memo for TABLE(f(args)) invocations:
         # routines are deterministic over data that does not change while
@@ -182,6 +187,99 @@ class Database:
         # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
         self.txn = TransactionManager(self)
         self.catalog.txn = self.txn
+
+    # -- CURRENT_DATE ----------------------------------------------------
+
+    @property
+    def now(self) -> Date:
+        """CURRENT_DATE.  Settable for reproducible current semantics;
+        under durability each change is WAL-logged so a reopened
+        database resumes at the clock it was closed at."""
+        return self._now
+
+    @now.setter
+    def now(self, value: Date) -> None:
+        self._now = value
+        if self.durability is not None:
+            self.durability.log_now(value.ordinal)
+
+    # -- durability ------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, *, now: Optional[Date] = None, sync: bool = True,
+             auto_checkpoint_bytes: Optional[int] = None) -> "Database":
+        """Open (or create) a durable database at ``path``.
+
+        Equivalent to ``Database()`` + :meth:`attach_durability`; for a
+        database with temporal tables use ``TemporalStratum.open`` so
+        the registries are rebuilt too.
+        """
+        db = cls(now=now)
+        db.attach_durability(
+            path, sync=sync, auto_checkpoint_bytes=auto_checkpoint_bytes
+        )
+        return db
+
+    def attach_durability(self, path, *, stratum=None, sync: bool = True,
+                          auto_checkpoint_bytes: Optional[int] = None):
+        """Bind a WAL + snapshot directory, running crash recovery first.
+
+        ``stratum`` (a :class:`~repro.temporal.stratum.TemporalStratum`)
+        makes registry changes durable and lets recovery rebuild them.
+        Returns the :class:`~repro.sqlengine.wal.DurabilityManager`.
+        """
+        from repro.sqlengine.recovery import recover
+        from repro.sqlengine.wal import (
+            DEFAULT_AUTO_CHECKPOINT_BYTES,
+            DurabilityManager,
+            WalError,
+        )
+
+        if self.durability is not None:
+            raise WalError("durability is already attached to this database")
+        if self.txn.explicit or self.txn.marks:
+            raise WalError("cannot attach durability inside a transaction")
+        manager = DurabilityManager(
+            self,
+            path,
+            sync=sync,
+            auto_checkpoint_bytes=(
+                auto_checkpoint_bytes
+                if auto_checkpoint_bytes is not None
+                else DEFAULT_AUTO_CHECKPOINT_BYTES
+            ),
+        )
+        if stratum is not None:
+            manager.bind_stratum(stratum)
+        recover(manager)
+        self.durability = manager
+        self.txn.wal = manager
+        # recovery may have rebuilt arbitrary schema/data: every compiled
+        # artifact bound against the pre-recovery state must go
+        self.plan_cache.clear()
+        self.expr_cache.clear()
+        self.table_function_cache.clear()
+        if stratum is not None:
+            stratum._transform_cache.clear()
+            stratum._installed_clones.clear()
+        return manager
+
+    def checkpoint(self) -> int:
+        """Snapshot state and truncate the WAL (durability required)."""
+        if self.durability is None:
+            raise ExecutionError("checkpoint: durability is not attached")
+        return self.durability.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush (and by default checkpoint) and detach durability.
+
+        A no-op for purely in-memory databases.
+        """
+        if self.durability is None:
+            return
+        self.durability.close(checkpoint=checkpoint)
+        self.txn.wal = None
+        self.durability = None
 
     # -- execution -------------------------------------------------------
 
@@ -238,3 +336,7 @@ class Database:
         for row in rows:
             table.insert(row)
         self.stats.count_rows(len(rows), "bulk_load")
+        # bulk loads run outside any statement mark: flush the redo
+        # records now so the load is one durable transaction
+        if self.txn.wal is not None and not self.txn.explicit and not self.txn.marks:
+            self.txn.wal.commit_buffered()

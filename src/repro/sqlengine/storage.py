@@ -131,6 +131,8 @@ class Table:
                 txn.fault_plan.hit("table.insert", self.name)
             if txn.logging:
                 txn.log.append(("ins", self, self.version))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_insert(self.name, row)
         self.rows.append(row)
         self.version += 1
 
@@ -148,12 +150,24 @@ class Table:
         if txn is not None and txn.fault_plan is not None:
             txn.fault_plan.hit("table.delete", self.name)
         old_rows = self.rows
-        kept = [row for row in old_rows if not predicate(row)]
+        wal = txn.wal if txn is not None and not self.temporary else None
+        if wal is not None:
+            # one pass that also collects positions for the redo record
+            kept, doomed = [], []
+            for position, row in enumerate(old_rows):
+                if predicate(row):
+                    doomed.append(position)
+                else:
+                    kept.append(row)
+        else:
+            kept = [row for row in old_rows if not predicate(row)]
         removed = len(old_rows) - len(kept)
         if removed:
             if txn is not None and txn.logging:
                 # the displaced list object is the inverse
                 txn.log.append(("rows", self, self.version, old_rows))
+            if wal is not None:
+                wal.record_delete(self.name, doomed)
             self.rows = kept
             self.version += 1
         return removed
@@ -174,8 +188,9 @@ class Table:
         if txn is not None and txn.fault_plan is not None:
             txn.fault_plan.hit("table.update", self.name)
         log = txn.log if txn is not None and txn.logging else None
+        wal = txn.wal if txn is not None and not self.temporary else None
         count = 0
-        for row in self.rows:
+        for position, row in enumerate(self.rows):
             if predicate(row):
                 staged = [
                     (index, coerce(value, self.columns[index].type))
@@ -186,6 +201,8 @@ class Table:
                         "upd", self, self.version, row,
                         [(index, row[index]) for index, _ in staged],
                     ))
+                if wal is not None:
+                    wal.record_update(self.name, position, staged)
                 for index, value in staged:
                     row[index] = value
                 count += 1
@@ -201,6 +218,8 @@ class Table:
                 txn.fault_plan.hit("table.set_cell", self.name)
             if txn.logging:
                 txn.log.append(("cell", self, self.version, row, index, row[index]))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_cell(self.name, self._row_position(row), index, value)
         row[index] = value
         self.version += 1
 
@@ -214,6 +233,10 @@ class Table:
                 txn.log.append((
                     "upd", self, self.version, row, list(enumerate(row)),
                 ))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_write_row(
+                    self.name, self._row_position(row), list(values)
+                )
         row[:] = values
         self.version += 1
 
@@ -225,6 +248,8 @@ class Table:
                 txn.fault_plan.hit("table.replace_rows", self.name)
             if txn.logging:
                 txn.log.append(("rows", self, self.version, self.rows))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_set_rows(self.name, new_rows)
         self.rows = new_rows
         self.version += 1
 
@@ -235,6 +260,8 @@ class Table:
                 txn.fault_plan.hit("table.truncate", self.name)
             if txn.logging and self.rows:
                 txn.log.append(("rows", self, self.version, self.rows))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_set_rows(self.name, [])
         self.rows = []
         self.version += 1
 
@@ -256,11 +283,24 @@ class Table:
                 txn.fault_plan.hit("table.add_column", self.name)
             if txn.logging:
                 txn.log.append(("addcol", self, self.version, len(self.columns)))
+            if txn.wal is not None and not self.temporary:
+                txn.wal.record_add_column(self.name, column, default)
         self.columns.append(column)
         self._index[key] = len(self.columns) - 1
         for row in self.rows:
             row.append(default)
         self.version += 1
+
+    def _row_position(self, row: list[Any]) -> int:
+        """The position of a live row (identity, not equality) — rows can
+        be duplicates by value.  Only consulted when durability is
+        attached, to address the row in a redo record."""
+        for position, candidate in enumerate(self.rows):
+            if candidate is row:
+                return position
+        raise ExecutionError(
+            f"row is not resident in table {self.name} (cannot log redo)"
+        )
 
     def hash_index(self, column_index: int) -> dict:
         """A hash index mapping sort-keyed column values to row lists.

@@ -40,47 +40,104 @@ from repro.sqlengine.errors import ExecutionError, FaultInjected
 
 
 class FaultPlan:
-    """Deterministic fault injection: fail the Nth mutation at a site.
+    """Deterministic fault injection: fail scheduled mutations at a site.
 
     ``site`` is a primitive tag such as ``"table.insert"`` or
     ``"catalog.add_table"``; ``target`` optionally restricts to one
-    object name.  The fault fires once (``at``-th match) and then stays
-    spent, so re-running the statement after a crash succeeds without
-    clearing the plan.  Primitives consult the plan *before* mutating,
-    so a fired fault leaves that primitive un-applied.
+    object name.  By default the fault fires once (on the ``at``-th
+    match) and then stays spent, so re-running the statement after a
+    crash succeeds without clearing the plan.  Two extensions support
+    crash-matrix sweeps without re-arming:
+
+    * ``every=N`` re-fires on every Nth match after ``at``
+      (``at``, ``at+N``, ``at+2N``, ...);
+    * ``times=K`` caps the number of firings (``None`` = unlimited,
+      meaningful only with ``every``).
+
+    Primitives consult the plan *before* mutating, so a fired fault
+    leaves that primitive un-applied.
     """
 
-    __slots__ = ("site", "target", "at", "hits", "fired")
+    __slots__ = ("site", "target", "at", "every", "times", "hits", "fires", "fired")
 
-    def __init__(self, site: str, target: Optional[str] = None, at: int = 1) -> None:
+    def __init__(
+        self,
+        site: str,
+        target: Optional[str] = None,
+        at: int = 1,
+        every: Optional[int] = None,
+        times: Optional[int] = 1,
+    ) -> None:
         self.site = site
         self.target = target.lower() if target is not None else None
         self.at = at
+        self.every = every
+        self.times = times
         self.hits = 0
+        self.fires = 0
         self.fired = False
 
+    @property
+    def spent(self) -> bool:
+        return self.times is not None and self.fires >= self.times
+
     def hit(self, site: str, target: str) -> None:
-        """Count a mutation; raise :class:`FaultInjected` on the Nth match."""
-        if self.fired or site != self.site:
+        """Count a mutation; raise :class:`FaultInjected` on scheduled matches."""
+        if site != self.site or self.spent:
             return
         if self.target is not None and target.lower() != self.target:
             return
         self.hits += 1
-        if self.hits >= self.at:
+        if self.hits == self.at:
+            due = True
+        elif self.every is not None and self.hits > self.at:
+            due = (self.hits - self.at) % self.every == 0
+        else:
+            due = False
+        if due:
+            self.fires += 1
             self.fired = True
             raise FaultInjected(
                 f"injected fault at {site} on {target!r} (match #{self.hits})"
             )
 
 
+class FaultSet:
+    """Several armed :class:`FaultPlan` sites behind one ``hit`` surface.
+
+    Duck-types the single-plan interface the primitives consult, so a
+    crash-matrix test can arm, say, every-Nth-fsync *and* a catalog
+    fault in the same run: ``txn.fault_plan = FaultSet(p1, p2)``.
+    """
+
+    __slots__ = ("plans",)
+
+    def __init__(self, *plans: FaultPlan) -> None:
+        self.plans = list(plans)
+
+    @property
+    def fired(self) -> bool:
+        return any(plan.fired for plan in self.plans)
+
+    def hit(self, site: str, target: str) -> None:
+        for plan in self.plans:
+            plan.hit(site, target)
+
+
 class _Mark:
-    """A savepoint: an index into the undo log, optionally named."""
+    """A savepoint: an index into the undo log, optionally named.
 
-    __slots__ = ("name", "index")
+    ``redo_index`` is the matching position in the durability manager's
+    redo buffer (0 while durability is detached), so rolling back to a
+    mark also discards the redo records the window buffered.
+    """
 
-    def __init__(self, name: Optional[str], index: int) -> None:
+    __slots__ = ("name", "index", "redo_index")
+
+    def __init__(self, name: Optional[str], index: int, redo_index: int = 0) -> None:
         self.name = name
         self.index = index
+        self.redo_index = redo_index
 
 
 def _restore_table_version(table, version: int) -> None:
@@ -181,6 +238,10 @@ class TransactionManager:
         self.explicit = False
         self.logging = False
         self.fault_plan: Optional[FaultPlan] = None
+        # redo side: the DurabilityManager, attached by
+        # Database.attach_durability (None = durability disabled; the
+        # storage primitives' only added cost is this attribute load)
+        self.wal = None
         # callbacks run after any rollback that applied undo entries;
         # the stratum registers one to purge transform-cache entries
         # stored during the rolled-back window
@@ -196,7 +257,8 @@ class TransactionManager:
         if depth > self._undo_high_water:
             self._undo_high_water = depth
             self.db.obs.set_gauge("txn.undo_depth_high_water", depth)
-        mark = _Mark(name, len(self.log))
+        wal = self.wal
+        mark = _Mark(name, depth, len(wal.buffer) if wal is not None else 0)
         self.marks.append(mark)
         self.logging = True
         return mark
@@ -211,6 +273,10 @@ class TransactionManager:
             self.logging = self.explicit
             if not self.explicit:
                 self.log.clear()
+                # autocommit commit point: the statement's buffered redo
+                # records become one durable transaction
+                if self.wal is not None:
+                    self.wal.commit_buffered()
 
     def rollback_to(self, mark: _Mark, keep: bool = False) -> None:
         """Undo every entry logged since ``mark``.
@@ -221,6 +287,8 @@ class TransactionManager:
         while self.marks and self.marks[-1] is not mark:
             self.marks.pop()
         self._undo_to(mark.index)
+        if self.wal is not None:
+            self.wal.truncate_buffer(mark.redo_index)
         if not keep and self.marks and self.marks[-1] is mark:
             self.marks.pop()
         if not self.marks:
@@ -260,6 +328,10 @@ class TransactionManager:
     def commit(self) -> None:
         if not self.explicit:
             raise ExecutionError("COMMIT: no transaction in progress")
+        if self.wal is not None:
+            # the whole transaction becomes one durable WAL transaction:
+            # one write, one fsync (group commit)
+            self.wal.commit_buffered()
         self.explicit = False
         self.marks.clear()
         self.log.clear()
@@ -268,6 +340,9 @@ class TransactionManager:
     def rollback(self) -> None:
         if not self.explicit:
             raise ExecutionError("ROLLBACK: no transaction in progress")
+        if self.wal is not None:
+            # nothing from an aborted transaction ever reaches the WAL
+            self.wal.truncate_buffer(0)
         self.marks.clear()
         self._undo_to(0)
         self.explicit = False

@@ -1,0 +1,411 @@
+"""The write-ahead log: record framing, encoding, and the durability manager.
+
+Durability is **opt-in** (``Database.attach_durability`` /
+``Database.open`` / ``TemporalStratum.open``) and mirrors the tracing
+design: while detached, every storage primitive pays one attribute load
+(``txn.wal is None``) and nothing else.
+
+When attached, the same primitives that feed the undo log also append a
+*redo* record describing the mutation to an in-memory buffer on this
+manager.  The buffer follows the transaction manager's mark discipline:
+
+* rolling back to a mark truncates the buffer to the mark's position,
+  so an aborted statement (or savepoint window) never reaches disk;
+* releasing the last mark outside an explicit transaction — the
+  autocommit commit point — frames the buffered records between
+  ``begin``/``commit`` markers and appends them to the WAL file in one
+  write, followed by one ``fsync`` (group commit);
+* explicit ``COMMIT`` does the same for the whole transaction;
+  ``ROLLBACK`` discards the buffer and writes nothing.
+
+On-disk format (``wal.log`` inside the database directory): a sequence
+of length-prefixed, CRC-checksummed frames::
+
+    <u32 payload length> <u32 crc32(payload)> <payload bytes>
+
+The payload is a JSON array ``[tag, ...args]``; values are encoded with
+:func:`encode_value` (NULL ↔ ``null``, DATE ↔ ``{"d": ordinal}``).
+The first frame of every WAL file is a ``["walhdr", generation]``
+header; a checkpoint bumps the generation so a crash between snapshot
+rename and WAL reset can never double-apply a stale log (see
+:mod:`repro.sqlengine.checkpoint`).  Recovery semantics live in
+:mod:`repro.sqlengine.recovery`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.values import Date, Null
+
+WAL_FILE = "wal.log"
+SNAPSHOT_FILE = "snapshot.json"
+
+_FRAME_HEADER = struct.Struct("<II")
+# anything larger than this is treated as a corrupt length prefix
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+# default auto-checkpoint threshold: once the WAL grows past this many
+# bytes, the next commit triggers a checkpoint (None disables)
+DEFAULT_AUTO_CHECKPOINT_BYTES = 8 * 1024 * 1024
+
+
+class WalError(ExecutionError):
+    """A durability-layer failure (bad directory, closed manager, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# value / record encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """One SQL cell value → a JSON-representable form."""
+    if value is Null:
+        return None
+    if isinstance(value, Date):
+        return {"d": value.ordinal}
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    raise WalError(f"cannot encode value of type {type(value).__name__} for WAL")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if value is None:
+        return Null
+    if isinstance(value, dict):
+        return Date(value["d"])
+    return value
+
+
+def encode_row(row: list) -> list:
+    return [encode_value(v) for v in row]
+
+
+def decode_row(row: list) -> list:
+    return [decode_value(v) for v in row]
+
+
+def frame(payload: bytes) -> bytes:
+    """One length-prefixed, CRC-checksummed WAL frame."""
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_record(record: list) -> bytes:
+    return json.dumps(record, separators=(",", ":")).encode("utf-8")
+
+
+def read_frames(data: bytes) -> tuple[list[list], int]:
+    """Decode frames from raw WAL bytes.
+
+    Returns ``(records, good_end)`` where ``good_end`` is the offset
+    just past the last intact frame.  Scanning stops at the first torn
+    (short) frame, checksum mismatch, implausible length prefix, or
+    undecodable payload — truncate-at-first-bad-record semantics.
+    """
+    records: list[list] = []
+    offset = 0
+    size = len(data)
+    while offset + _FRAME_HEADER.size <= size:
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            break
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn final record
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        if not isinstance(record, list) or not record:
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+# ---------------------------------------------------------------------------
+# the durability manager
+# ---------------------------------------------------------------------------
+
+
+class DurabilityManager:
+    """Owns one database directory: ``wal.log`` plus ``snapshot.json``.
+
+    Created by :meth:`repro.sqlengine.engine.Database.attach_durability`;
+    holds the redo buffer the storage/catalog/registry primitives append
+    to, and the open WAL file handle commits are flushed to.
+    """
+
+    def __init__(
+        self,
+        db,
+        path: Union[str, Path],
+        sync: bool = True,
+        auto_checkpoint_bytes: Optional[int] = DEFAULT_AUTO_CHECKPOINT_BYTES,
+    ) -> None:
+        self.db = db
+        self.dir = Path(path)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self.auto_checkpoint_bytes = auto_checkpoint_bytes
+        self.buffer: list[list] = []  # encoded records awaiting commit
+        self.generation = 0
+        self.txn_counter = 0
+        self.replaying = False
+        self.closed = False
+        self._file = None  # append handle, opened after recovery
+        # temporal-stratum integration (None for engine-only databases)
+        self.stratum = None
+        self.registries: dict[str, Any] = {}
+        self.obs = db.obs
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def wal_path(self) -> Path:
+        return self.dir / WAL_FILE
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.dir / SNAPSHOT_FILE
+
+    # -- stratum binding ------------------------------------------------
+
+    def bind_stratum(self, stratum) -> None:
+        """Attach a temporal stratum: its registries get WAL dimensions
+        so registrations are logged and replayable."""
+        self.stratum = stratum
+        self.registries = {"vt": stratum.registry, "tt": stratum.tt_registry}
+        stratum.registry.wal_dim = "vt"
+        stratum.tt_registry.wal_dim = "tt"
+
+    # -- buffer management (driven by TransactionManager) ---------------
+
+    def position(self) -> int:
+        return len(self.buffer)
+
+    def truncate_buffer(self, position: int) -> None:
+        """Discard records buffered after ``position`` (rollback)."""
+        del self.buffer[position:]
+
+    def commit_buffered(self) -> None:
+        """Flush the buffer as one committed transaction (group commit)."""
+        if not self.buffer or self.closed:
+            return
+        self.txn_counter += 1
+        records = (
+            [["begin", self.txn_counter]]
+            + self.buffer
+            + [["commit", self.txn_counter, self.db.now.ordinal]]
+        )
+        self.buffer = []
+        data = b"".join(frame(encode_record(r)) for r in records)
+        self._file.write(data)
+        self._file.flush()
+        fault_plan = self.db.txn.fault_plan
+        if fault_plan is not None:
+            # fires between write and fsync — the "crash before the log
+            # reached disk" point the crash-matrix tests kill at
+            fault_plan.hit("wal.fsync", "wal")
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.obs.inc("wal.records_written", len(records))
+        self.obs.inc("wal.bytes", len(data))
+        self.obs.inc("wal.fsyncs", 1)
+        self.obs.inc("wal.commits", 1)
+        if (
+            self.auto_checkpoint_bytes is not None
+            and self._file.tell() >= self.auto_checkpoint_bytes
+        ):
+            self.checkpoint()
+
+    def log_now(self, ordinal: int) -> None:
+        """Record a CURRENT_DATE change; its own commit when idle."""
+        if self.replaying or self.closed:
+            return
+        self.buffer.append(["now", ordinal])
+        txn = self.db.txn
+        if not txn.marks and not txn.explicit:
+            self.commit_buffered()
+
+    # -- record constructors (called from the mutation primitives) ------
+
+    def record_insert(self, table: str, row: list) -> None:
+        self.buffer.append(["ins", table, encode_row(row)])
+
+    def record_update(self, table: str, position: int, pairs: list) -> None:
+        self.buffer.append(
+            ["upd", table, position, [[i, encode_value(v)] for i, v in pairs]]
+        )
+
+    def record_cell(self, table: str, position: int, index: int, value: Any) -> None:
+        self.buffer.append(["cell", table, position, index, encode_value(value)])
+
+    def record_write_row(self, table: str, position: int, values: list) -> None:
+        self.buffer.append(["wrow", table, position, encode_row(values)])
+
+    def record_delete(self, table: str, positions: list[int]) -> None:
+        self.buffer.append(["delpos", table, positions])
+
+    def record_set_rows(self, table: str, rows: list) -> None:
+        self.buffer.append(["setrows", table, [encode_row(r) for r in rows]])
+
+    def record_add_column(self, table: str, column, default: Any) -> None:
+        self.buffer.append(
+            ["addcol", table, _encode_column(column), encode_value(default)]
+        )
+
+    def record_create_table(self, table) -> None:
+        self.buffer.append(
+            [
+                "mktable",
+                table.name,
+                [_encode_column(c) for c in table.columns],
+                [encode_row(r) for r in table.rows],
+            ]
+        )
+
+    def record_drop_table(self, name: str) -> None:
+        self.buffer.append(["rmtable", name])
+
+    def record_view(self, name: str, sql: str) -> None:
+        self.buffer.append(["mkview", name, sql])
+
+    def record_drop_view(self, name: str) -> None:
+        self.buffer.append(["rmview", name])
+
+    def record_routine(self, sql: str) -> None:
+        self.buffer.append(["mkroutine", sql])
+
+    def record_drop_routine(self, name: str) -> None:
+        self.buffer.append(["rmroutine", name])
+
+    def record_stratum_routine(self, sql: str) -> None:
+        """A routine registered through the stratum, stored in original
+        (pre-rewrite) form so recovery can rebuild the stratum's
+        nonsequenced-only bookkeeping."""
+        self.buffer.append(["troutine", sql])
+
+    def record_registry(self, dim: str, info) -> None:
+        self.buffer.append(
+            ["reg", dim, info.name, info.begin_column, info.end_column]
+        )
+
+    def record_unregistry(self, dim: str, name: str) -> None:
+        self.buffer.append(["unreg", dim, name])
+
+    # -- file lifecycle -------------------------------------------------
+
+    def open_for_append(self) -> None:
+        """(Re)open the WAL for appending; write a header when empty."""
+        if self._file is not None:
+            self._file.close()
+        fresh = not self.wal_path.exists() or self.wal_path.stat().st_size == 0
+        self._file = open(self.wal_path, "ab")
+        if fresh:
+            self._file.write(frame(encode_record(["walhdr", self.generation])))
+            self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
+
+    def reset_wal(self, generation: int) -> None:
+        """Truncate the WAL and stamp a new generation header."""
+        if self._file is not None:
+            self._file.close()
+        self.generation = generation
+        self._file = open(self.wal_path, "wb")
+        self._file.write(frame(encode_record(["walhdr", generation])))
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+
+    def truncate_wal_to(self, offset: int) -> None:
+        """Cut the WAL back to ``offset`` (drop a corrupt/uncommitted tail)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        with open(self.wal_path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def wal_size(self) -> int:
+        if self._file is not None:
+            return self._file.tell()
+        return self.wal_path.stat().st_size if self.wal_path.exists() else 0
+
+    def checkpoint(self) -> int:
+        """Snapshot everything and truncate the WAL; returns the new
+        generation.  Not allowed mid-transaction."""
+        from repro.sqlengine.checkpoint import write_checkpoint
+
+        txn = self.db.txn
+        if txn.explicit or txn.marks:
+            raise WalError("cannot checkpoint inside an open transaction")
+        self.commit_buffered()
+        return write_checkpoint(self)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush (and by default checkpoint) before detaching."""
+        if self.closed:
+            return
+        self.commit_buffered()
+        if checkpoint:
+            self.checkpoint()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self.closed = True
+
+    # -- introspection --------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """JSON-able WAL state for trace summaries and EXPLAIN ANALYZE."""
+        return {
+            "dir": str(self.dir),
+            "generation": self.generation,
+            "sync": self.sync,
+            "wal_bytes_on_disk": self.wal_size(),
+            "buffered_records": len(self.buffer),
+            "records_written": self.obs.value("wal.records_written"),
+            "bytes_written": self.obs.value("wal.bytes"),
+            "fsyncs": self.obs.value("wal.fsyncs"),
+            "commits": self.obs.value("wal.commits"),
+            "checkpoints": self.obs.value("checkpoint.writes"),
+            "records_replayed": self.obs.value("recovery.records_replayed"),
+        }
+
+
+def _encode_column(column) -> list:
+    type_ = column.type
+    return [
+        column.name,
+        [type_.name, type_.length, type_.precision, type_.scale],
+        column.not_null,
+        column.primary_key,
+    ]
+
+
+def decode_column(data: list):
+    from repro.sqlengine.storage import Column
+    from repro.sqlengine.types import SqlType
+
+    name, (type_name, length, precision, scale), not_null, primary_key = data
+    return Column(
+        name,
+        SqlType(type_name, length=length, precision=precision, scale=scale),
+        not_null=not_null,
+        primary_key=primary_key,
+    )

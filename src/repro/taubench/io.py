@@ -16,10 +16,12 @@ Dates are written as ISO strings; NULLs as empty fields.
 from __future__ import annotations
 
 import csv
+import dataclasses
 from pathlib import Path
 from typing import Union
 
 from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import SqlError
 from repro.sqlengine.storage import Table
 from repro.sqlengine.values import Date, Null
 from repro.taubench import schema
@@ -27,6 +29,10 @@ from repro.taubench.datasets import Dataset, dataset_spec
 from repro.temporal.stratum import TemporalStratum
 
 MANIFEST = "manifest.txt"
+
+
+class DatasetLoadError(ValueError):
+    """A malformed dataset file: always names the file and line."""
 
 
 def _encode(value) -> str:
@@ -64,23 +70,50 @@ def import_table(db: Database, table_name: str, path: Union[str, Path]) -> int:
     """Load a CSV file (written by :func:`export_table`) into a table.
 
     The table must already exist; the CSV header must match its columns.
-    Values are decoded according to the column types.
+    Values are decoded according to the column types.  Malformed input —
+    a missing header, a row with the wrong number of fields, or a value
+    that cannot represent its column's type — raises
+    :class:`DatasetLoadError` naming the file and 1-based line number.
     """
     table = db.catalog.get_table(table_name)
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetLoadError(f"{path.name}: empty file (no header row)")
         expected = [c.lower() for c in table.column_names]
         if [h.lower() for h in header] != expected:
-            raise ValueError(
-                f"{path.name}: header {header} does not match columns"
-                f" {table.column_names}"
+            raise DatasetLoadError(
+                f"{path.name}, line 1: header {header} does not match"
+                f" columns {table.column_names}"
             )
         types = [c.type.name for c in table.columns]
+        names = table.column_names
         count = 0
         for row in reader:
-            table.insert([_decode(v, t) for v, t in zip(row, types)])
+            line = reader.line_num
+            if len(row) != len(types):
+                raise DatasetLoadError(
+                    f"{path.name}, line {line}: expected {len(types)}"
+                    f" fields, got {len(row)}"
+                )
+            decoded = []
+            for value, type_name, column in zip(row, types, names):
+                try:
+                    decoded.append(_decode(value, type_name))
+                except (ValueError, SqlError) as exc:
+                    raise DatasetLoadError(
+                        f"{path.name}, line {line}, column {column}:"
+                        f" cannot read {value!r} as {type_name} ({exc})"
+                    ) from exc
+            try:
+                table.insert(decoded)
+            except SqlError as exc:
+                raise DatasetLoadError(
+                    f"{path.name}, line {line}: {exc}"
+                ) from exc
             count += 1
     db.stats.count_rows(count, "bulk_load")
     return count
@@ -140,3 +173,34 @@ def import_dataset(directory: Union[str, Path]) -> Dataset:
         cold_author_last_name=manifest["cold_author_last_name"],
         probe_publisher_id=manifest["probe_publisher_id"],
     )
+
+
+def copy_dataset_into(stratum: TemporalStratum, dataset: Dataset) -> Dataset:
+    """Copy a dataset's tables into another (typically durable) stratum.
+
+    ``build_dataset`` creates its own fresh stratum; a durable session
+    instead wants the data *inside* the already-attached one.  The six
+    tables are created (with valid-time support) and bulk-copied in a
+    single explicit transaction, so under durability the whole load is
+    one WAL commit — one write, one fsync.  Returns the dataset rebound
+    to ``stratum``.
+    """
+    db = stratum.db
+    source = dataset.stratum.db
+    db.execute("BEGIN")
+    try:
+        for table_name in schema.TABLE_NAMES:
+            if not db.catalog.has_table(table_name):
+                db.execute(schema.DDL[table_name])
+                stratum.add_validtime(table_name)
+            original = source.catalog.get_table(table_name)
+            target = db.catalog.get_table(table_name)
+            for row in original.rows:
+                target.append_row(list(row))
+            db.stats.count_rows(len(original), "bulk_load")
+    except BaseException:
+        db.execute("ROLLBACK")
+        raise
+    db.execute("COMMIT")
+    db.now = source.now
+    return dataclasses.replace(dataset, stratum=stratum)

@@ -44,6 +44,9 @@ class TemporalRegistry:
 
     # the owning database's TransactionManager (attached by the stratum)
     txn = None
+    # the WAL dimension tag ("vt"/"tt"), set by DurabilityManager.bind_stratum;
+    # None leaves registrations out of the WAL (durability detached)
+    wal_dim = None
 
     def __init__(self) -> None:
         self._tables: dict[str, TemporalTableInfo] = {}
@@ -71,6 +74,8 @@ class TemporalRegistry:
                 txn.fault_plan.hit("registry.add", info.name)
             if txn.logging:
                 txn.log.append(("reg", self, info.key, self._tables.get(info.key)))
+            if txn.wal is not None and self.wal_dim is not None:
+                txn.wal.record_registry(self.wal_dim, info)
         self._tables[info.key] = info
         self.version += 1
 
@@ -85,6 +90,8 @@ class TemporalRegistry:
                 txn.fault_plan.hit("registry.remove", name)
             if txn.logging:
                 txn.log.append(("reg", self, key, info))
+            if txn.wal is not None and self.wal_dim is not None:
+                txn.wal.record_unregistry(self.wal_dim, info.name)
         del self._tables[key]
         self.version += 1
 

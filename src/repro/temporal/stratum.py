@@ -140,6 +140,53 @@ class TemporalStratum:
         self.tt_registry.txn = self.db.txn
         self.db.txn.rollback_hooks.append(self._evict_stale_transforms)
 
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        now: Optional[Date] = None,
+        sync: bool = True,
+        auto_checkpoint_bytes: Optional[int] = None,
+    ) -> "TemporalStratum":
+        """Open (or create) a durable temporal database at ``path``.
+
+        The stratum is bound before recovery runs, so temporal-table
+        registrations and stratum routine bookkeeping are rebuilt along
+        with the catalog.
+        """
+        stratum = cls(Database(now=now))
+        stratum.attach_durability(
+            path, sync=sync, auto_checkpoint_bytes=auto_checkpoint_bytes
+        )
+        return stratum
+
+    def attach_durability(
+        self,
+        path,
+        *,
+        sync: bool = True,
+        auto_checkpoint_bytes: Optional[int] = None,
+    ):
+        """Bind a WAL + snapshot directory to the underlying database,
+        registering this stratum so registry changes are durable."""
+        return self.db.attach_durability(
+            path,
+            stratum=self,
+            sync=sync,
+            auto_checkpoint_bytes=auto_checkpoint_bytes,
+        )
+
+    def checkpoint(self) -> int:
+        return self.db.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        self.db.close(checkpoint=checkpoint)
+
     @property
     def clock(self) -> Date:
         """The transaction-time clock (defaults to ``db.now``)."""
@@ -358,6 +405,12 @@ class TemporalStratum:
             self._nonseq_only_routines.add(stmt.name.lower())
         else:
             self.db.catalog.add_routine(Routine(kind=kind, definition=stmt))
+        # durable form: the *original* (pre-rewrite) definition, so
+        # recovery re-registers through the stratum and rebuilds the
+        # nonsequenced-only bookkeeping the catalog records can't carry
+        txn = self.db.txn
+        if txn.wal is not None:
+            txn.wal.record_stratum_routine(stmt.to_sql())
         # a re-registration invalidates any clones derived from old bodies
         self._installed_clones = {
             c for c in self._installed_clones

@@ -6,6 +6,8 @@ from repro.sqlengine import Database
 from repro.sqlengine.values import Date, Null
 from repro.taubench import schema
 from repro.taubench.io import (
+    DatasetLoadError,
+    copy_dataset_into,
     export_dataset,
     export_table,
     import_dataset,
@@ -45,6 +47,64 @@ class TestTableRoundTrip:
         db2.execute("CREATE TABLE t (x INTEGER, b CHAR(10), c FLOAT, d DATE)")
         with pytest.raises(ValueError):
             import_table(db2, "t", tmp_path / "t.csv")
+
+
+class TestCorruptFixtures:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, d DATE)")
+        return db
+
+    def test_empty_file_rejected(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(DatasetLoadError, match="empty file"):
+            import_table(db, "t", path)
+
+    def test_wrong_field_count_names_file_and_line(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,d\n1,2010-06-01\n2,2010-06-02,EXTRA\n")
+        with pytest.raises(DatasetLoadError, match=r"t\.csv, line 3"):
+            import_table(db, "t", path)
+
+    def test_bad_value_names_file_line_and_column(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,d\n1,2010-06-01\nnope,2010-06-02\n")
+        with pytest.raises(
+            DatasetLoadError, match=r"t\.csv, line 3, column a"
+        ):
+            import_table(db, "t", path)
+
+    def test_bad_date_names_file_line_and_column(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,d\n1,not-a-date\n")
+        with pytest.raises(
+            DatasetLoadError, match=r"t\.csv, line 2, column d"
+        ):
+            import_table(db, "t", path)
+
+    def test_load_error_is_a_value_error(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            import_table(db, "t", path)
+
+
+class TestCopyDatasetInto:
+    def test_copy_into_fresh_stratum(self, small_dataset):
+        from repro.temporal.stratum import TemporalStratum
+
+        target = TemporalStratum()
+        copied = copy_dataset_into(target, small_dataset)
+        assert copied.stratum is target
+        assert copied.probe_item_id == small_dataset.probe_item_id
+        assert target.db.now == small_dataset.stratum.db.now
+        for table_name in schema.TABLE_NAMES:
+            original = small_dataset.stratum.db.catalog.get_table(table_name)
+            restored = target.db.catalog.get_table(table_name)
+            assert original.rows == restored.rows
+            assert target.registry.is_temporal(table_name)
 
 
 class TestDatasetRoundTrip:
