@@ -91,6 +91,13 @@ def _describe_source(source: Any, depth: int) -> list[str]:
     from repro.sqlengine import planner
 
     pad = "  " * depth
+    if isinstance(source, planner._IntervalScan):
+        alias = f" AS {source.alias}" if source.alias.lower() != source.name.lower() else ""
+        begin_column, end_column = source.pair
+        return [
+            pad + f"IntervalIndexScan {source.name}{alias}"
+            f" ({begin_column}/{end_column})"
+        ]
     if isinstance(source, planner._Scan):
         probe = " (hash-probe candidate)" if source.conjuncts else ""
         alias = f" AS {source.alias}" if source.alias.lower() != source.name.lower() else ""
@@ -290,6 +297,18 @@ def _explain_sequenced(
     lines.append(
         f"temporal tables: {', '.join(tables) if tables else '(none)'}"
     )
+    indexed = [
+        name
+        for name in tables
+        if (
+            (info := registry.get(name)) is not None
+            and (info.begin_column.lower(), info.end_column.lower())
+            in db.catalog.get_table(name).interval_pairs
+        )
+    ]
+    if indexed:
+        state = "on" if db.interval_indexing_enabled else "off"
+        lines.append(f"interval index [{state}]: {', '.join(indexed)}")
     if strategy is SlicingStrategy.MAX:
         result = transform_query_max(stmt, db.catalog, registry, MAX_CP_TABLE)
         lines.append(
@@ -348,6 +367,9 @@ def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
     tracer.enabled = True
     before = db.stats.snapshot()
     slices_before = db.obs.value("stratum.slices")
+    interval_hits_before = db.obs.value("engine.interval_index_hits")
+    interval_pruned_before = db.obs.value("engine.interval_rows_pruned")
+    cp_hits_before = db.obs.value("stratum.cp.cache_hits")
     started = time.perf_counter()
     try:
         result = thunk()
@@ -371,6 +393,15 @@ def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
         delta = after.get(key, 0) - before.get(key, 0)
         if delta:
             lines.append(f"  {label}: {delta}")
+    interval_hits = db.obs.value("engine.interval_index_hits") - interval_hits_before
+    if interval_hits:
+        pruned = db.obs.value("engine.interval_rows_pruned") - interval_pruned_before
+        lines.append(
+            f"  interval index hits: {interval_hits} ({pruned} rows pruned)"
+        )
+    cp_hits = db.obs.value("stratum.cp.cache_hits") - cp_hits_before
+    if cp_hits:
+        lines.append(f"  constant-period cache hits: {cp_hits}")
     lines.append(f"  result rows: {_result_rows(result)}")
     if db.durability is not None:
         state = db.durability.state()

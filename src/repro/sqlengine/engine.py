@@ -183,6 +183,13 @@ class Database:
         self.plan_cache = PlanCache()
         self.expr_cache: dict = {}
         self.plan_caching_enabled = True
+        # interval-index scan pruning over declared (begin, end) period
+        # pairs; `interval_indexing_enabled` is the ablation switch.
+        # `cp_cache` memoizes the last constant-period materialization
+        # per cp table (source table versions + context), letting the
+        # stratum skip the rebuild when nothing changed.
+        self.interval_indexing_enabled = True
+        self.cp_cache: dict = {}
         # undo-log transaction manager: statement guards, explicit
         # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
         self.txn = TransactionManager(self)
@@ -259,6 +266,7 @@ class Database:
         self.plan_cache.clear()
         self.expr_cache.clear()
         self.table_function_cache.clear()
+        self.cp_cache.clear()
         if stratum is not None:
             stratum._transform_cache.clear()
             stratum._installed_clones.clear()

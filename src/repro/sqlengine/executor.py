@@ -38,6 +38,12 @@ from repro.sqlengine.values import (
     truth,
 )
 
+# interval-probe bound extraction: sentinel for "no conjunct bounds this
+# column" (None is taken: it means a NULL bound) and the comparison flip
+# used when the column sits on the right-hand side
+_NO_BOUND = object()
+_FLIPPED_COMPARISON = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
 
 class ResultSet:
     """Columns plus a list of row value-lists."""
@@ -606,6 +612,13 @@ class Executor:
                 rows = []
             else:
                 rows = table.hash_index(column_index).get(sort_key(value), [])
+        else:
+            # no equality probe: try an interval probe over a declared
+            # (begin, end) period pair (the shape the temporal
+            # transforms emit — overlap/stab conjuncts)
+            interval = self._find_interval_probe(table, alias, conjuncts, env, from_items)
+            if interval is not None:
+                rows = self._interval_candidates(table, interval)
         key = alias.lower()
         self.db.obs.inc("engine.rows_scanned", len(rows))
         for row in rows:
@@ -637,6 +650,116 @@ class Executor:
                     continue
                 return column, value
         return None
+
+    def _find_interval_probe(
+        self,
+        table: Table,
+        alias: str,
+        conjuncts: list[ast.Expression],
+        env: Env,
+        from_items: Optional[list[ast.FromItem]],
+    ) -> Optional[tuple[int, int, Optional[int], Optional[int]]]:
+        """An interval-index probe over a declared (begin, end) pair.
+
+        Recognizes the predicate shapes the temporal transforms emit: an
+        upper bound on the begin column (``begin <= P`` / ``begin < P``)
+        together with a lower bound on the end column (``P < end`` /
+        ``P <= end``), each evaluable from already-bound sources.  Both
+        ``stab(P)`` and ``overlaps(B, E)`` conjunctions normalize to
+        this form over day ordinals.  Returns ``(begin_index, end_index,
+        begin_max, end_min)``; a NULL bound is reported as ``(..., None,
+        None)`` meaning the candidate set is empty (comparison with NULL
+        is never true).  Pruning only — the full WHERE still runs.
+        """
+        if not self.db.interval_indexing_enabled:
+            return None
+        for begin_column, end_column in table.interval_pairs:
+            begin_max = self._interval_bound(
+                table, alias, begin_column, conjuncts, env, from_items, upper=True
+            )
+            if begin_max is _NO_BOUND:
+                continue
+            end_min = self._interval_bound(
+                table, alias, end_column, conjuncts, env, from_items, upper=False
+            )
+            if end_min is _NO_BOUND:
+                continue
+            begin_index = table.column_index(begin_column)
+            end_index = table.column_index(end_column)
+            if begin_max is None or end_min is None:
+                return begin_index, end_index, None, None
+            return begin_index, end_index, begin_max, end_min
+        return None
+
+    def _interval_bound(
+        self,
+        table: Table,
+        alias: str,
+        column: str,
+        conjuncts: list[ast.Expression],
+        env: Env,
+        from_items: Optional[list[ast.FromItem]],
+        upper: bool,
+    ) -> Any:
+        """The tightest bound the conjuncts place on ``column``.
+
+        ``upper=True`` looks for ``column </<= X`` and returns the
+        largest admissible day ordinal; ``upper=False`` looks for
+        ``column >/>= Y`` and returns the smallest.  Returns ``_NO_BOUND``
+        when no conjunct bounds the column, ``None`` when a bound
+        evaluates to NULL (no row can satisfy it).
+        """
+        target = table.column_index(column)
+        best: Any = _NO_BOUND
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, ast.BinaryOp):
+                continue
+            op = conjunct.op
+            if op not in ("<", "<=", ">", ">="):
+                continue
+            for lhs, rhs, normalized in (
+                (conjunct.left, conjunct.right, op),
+                (conjunct.right, conjunct.left, _FLIPPED_COMPARISON[op]),
+            ):
+                if upper and normalized not in ("<", "<="):
+                    continue
+                if not upper and normalized not in (">", ">="):
+                    continue
+                if self._column_of(lhs, table, alias, from_items) != target:
+                    continue
+                if not self._rhs_is_bindable(rhs, env, from_items):
+                    continue
+                try:
+                    value = self.evaluate(rhs, env)
+                except SqlError:
+                    continue
+                if value is Null:
+                    return None
+                if not isinstance(value, Date):
+                    continue
+                if upper:
+                    bound = value.ordinal if normalized == "<=" else value.ordinal - 1
+                    best = bound if best is _NO_BOUND else min(best, bound)
+                else:
+                    bound = value.ordinal if normalized == ">=" else value.ordinal + 1
+                    best = bound if best is _NO_BOUND else max(best, bound)
+        return best
+
+    def _interval_candidates(
+        self, table: Table, probe: tuple[int, int, Optional[int], Optional[int]]
+    ) -> list[list[Any]]:
+        """Candidate rows for an interval probe, in table position order."""
+        begin_index, end_index, begin_max, end_min = probe
+        if begin_max is None:
+            rows: list[list[Any]] = []
+        else:
+            rows = table.interval_index(begin_index, end_index).search(begin_max, end_min)
+        obs = self.db.obs
+        obs.inc("engine.interval_index_hits")
+        pruned = len(table.rows) - len(rows)
+        if pruned:
+            obs.inc("engine.interval_rows_pruned", pruned)
+        return rows
 
     def _column_of(
         self,

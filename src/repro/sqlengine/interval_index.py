@@ -1,0 +1,108 @@
+"""Endpoint-sorted interval index for temporal scan pruning.
+
+The temporal transforms (§V) emit predicates of two shapes against a
+table's ``(begin, end)`` period columns::
+
+    t.begin <= P AND P < t.end          -- stab: rows alive at point P
+    t.begin < E AND B < t.end           -- overlap with period [B, E)
+
+Both reduce to *"begin at most X and end at least Y"* over the day
+ordinals.  This index stores the rows whose period bounds are both
+DATE values sorted by begin ordinal, with a segment tree of maximum
+end ordinals on top, so ``search(begin_max, end_min)`` reports the
+matching rows in O(log n + k) instead of scanning the heap.
+
+Rows whose begin or end is not a :class:`Date` (NULL bounds) are left
+out of the index: a comparison against NULL is never true, so such
+rows can never satisfy the bound conjuncts and excluding them is safe.
+The index only *prunes* — callers still evaluate the full WHERE over
+the candidates — so results are identical to a linear scan, and
+candidates are returned in table position order to keep row order
+byte-for-byte identical too.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any
+
+from repro.sqlengine.values import Date
+
+_NEG_INF = -1  # below any valid day ordinal (Date.MIN_ORDINAL is 1)
+
+
+class IntervalIndex:
+    """Static index over one ``(begin, end)`` column pair of a table.
+
+    Built from the table's current row list and cached against
+    ``table.version`` (see :meth:`Table.interval_index`); never mutated
+    in place.
+    """
+
+    __slots__ = ("entry_count", "total_rows", "_begins", "_positions", "_rows", "_ends", "_tree")
+
+    def __init__(self, rows: list[list[Any]], begin_index: int, end_index: int) -> None:
+        entries = []
+        for position, row in enumerate(rows):
+            begin = row[begin_index]
+            end = row[end_index]
+            if isinstance(begin, Date) and isinstance(end, Date):
+                entries.append((begin.ordinal, position, end.ordinal, row))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        self.entry_count = len(entries)
+        self.total_rows = len(rows)
+        self._begins = [entry[0] for entry in entries]
+        self._positions = [entry[1] for entry in entries]
+        self._ends = [entry[2] for entry in entries]
+        self._rows = [entry[3] for entry in entries]
+        # segment tree over the begin-sorted entries; each node holds the
+        # maximum end ordinal of its range so whole subtrees with every
+        # end below the threshold are skipped during reporting
+        size = 1
+        while size < max(self.entry_count, 1):
+            size *= 2
+        tree = [_NEG_INF] * (2 * size)
+        tree[size : size + self.entry_count] = self._ends
+        for node in range(size - 1, 0, -1):
+            tree[node] = max(tree[2 * node], tree[2 * node + 1])
+        self._tree = tree
+
+    # -- queries ------------------------------------------------------------
+
+    def search(self, begin_max: int, end_min: int) -> list[list[Any]]:
+        """Rows with ``begin <= begin_max AND end >= end_min`` (ordinals),
+        in table position order."""
+        prefix = bisect_right(self._begins, begin_max)
+        if prefix == 0:
+            return []
+        threshold = end_min - 1  # report entries with end > threshold
+        size = len(self._tree) // 2
+        hits: list[int] = []
+        # iterative DFS over the tree, pruning subtrees that start at or
+        # past the prefix or whose max end is at most the threshold
+        stack = [(1, 0, size)]
+        tree = self._tree
+        while stack:
+            node, lo, hi = stack.pop()
+            if lo >= prefix or tree[node] <= threshold:
+                continue
+            if hi - lo == 1:
+                hits.append(lo)
+                continue
+            mid = (lo + hi) // 2
+            # push right first so the left child is processed first; the
+            # ordering of `hits` does not matter (re-sorted by position)
+            stack.append((2 * node + 1, mid, hi))
+            stack.append((2 * node, lo, mid))
+        hits.sort(key=self._positions.__getitem__)
+        rows = self._rows
+        return [rows[i] for i in hits]
+
+    def stab(self, point: int) -> list[list[Any]]:
+        """Rows alive at ``point``: ``begin <= point AND point < end``."""
+        return self.search(point, point + 1)
+
+    def overlaps(self, begin: int, end: int) -> list[list[Any]]:
+        """Rows whose period overlaps ``[begin, end)``:
+        ``begin < row.end AND row.begin < end``."""
+        return self.search(end - 1, begin + 1)

@@ -37,6 +37,7 @@ from repro.sqlengine.executor import (
     _distinct_rows,
     _flatten_from,
     _freeze_env,
+    _FLIPPED_COMPARISON,
     _Reversed,
     _split_conjuncts,
 )
@@ -139,6 +140,12 @@ class _Scan:
                     rows = []
                 else:
                     rows = table.hash_index(column_index).get(sort_key(value), [])
+            else:
+                interval = executor._find_interval_probe(
+                    table, self.alias, self.conjuncts, env, self.from_items
+                )
+                if interval is not None:
+                    rows = executor._interval_candidates(table, interval)
         key = self.key
         colmap = self.colmap
         bindings = env.bindings
@@ -150,6 +157,77 @@ class _Scan:
 
     def materialize(self, executor: Executor, env: Env) -> list:
         return list(self._table(executor, env).rows)
+
+
+class _IntervalScan(_Scan):
+    """A scan whose conjuncts statically bound a declared (begin, end)
+    interval pair at build time.
+
+    Execution is identical to :class:`_Scan` — probing happens at bind
+    time either way, so a plan stays correct when pairs are declared (or
+    the ablation switch flips) after it was compiled.  The subclass
+    exists so EXPLAIN can render the access path as ``IntervalIndexScan``.
+    """
+
+    __slots__ = ("pair",)
+
+    def __init__(self, *args, pair: tuple) -> None:
+        super().__init__(*args)
+        self.pair = pair
+
+
+def _static_interval_pair(
+    executor: Executor,
+    table,
+    alias: str,
+    conjuncts: list,
+    from_items: Optional[list],
+) -> Optional[tuple]:
+    """The declared pair the conjuncts bound on both sides, if any.
+
+    Shape-only analysis (no evaluation): the begin column needs an upper
+    bound and the end column a lower bound, each against a literal or a
+    name — mirroring what `_find_interval_probe` will accept at bind
+    time with values in hand.
+    """
+    for begin_column, end_column in table.interval_pairs:
+        if _static_bound_exists(
+            executor, table, alias, begin_column, conjuncts, from_items, upper=True
+        ) and _static_bound_exists(
+            executor, table, alias, end_column, conjuncts, from_items, upper=False
+        ):
+            return begin_column, end_column
+    return None
+
+
+def _static_bound_exists(
+    executor: Executor,
+    table,
+    alias: str,
+    column: str,
+    conjuncts: list,
+    from_items: Optional[list],
+    upper: bool,
+) -> bool:
+    target = table.column_index(column)
+    wanted = ("<", "<=") if upper else (">", ">=")
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        op = conjunct.op
+        if op not in ("<", "<=", ">", ">="):
+            continue
+        for lhs, rhs, normalized in (
+            (conjunct.left, conjunct.right, op),
+            (conjunct.right, conjunct.left, _FLIPPED_COMPARISON[op]),
+        ):
+            if normalized not in wanted:
+                continue
+            if not isinstance(rhs, (ast.Literal, ast.Name)):
+                continue
+            if executor._column_of(lhs, table, alias, from_items) == target:
+                return True
+    return False
 
 
 class _View:
@@ -370,7 +448,7 @@ def _build_leaf(
             return _View(source.name, source.binding, columns, view)
         table = executor._resolve_table(source.name, env)
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
-        return _Scan(
+        scan_args = (
             source.name,
             source.binding,
             colmap,
@@ -378,6 +456,13 @@ def _build_leaf(
             conjuncts,
             from_items,
         )
+        if conjuncts and table.interval_pairs:
+            pair = _static_interval_pair(
+                executor, table, source.binding, conjuncts, from_items
+            )
+            if pair is not None:
+                return _IntervalScan(*scan_args, pair=pair)
+        return _Scan(*scan_args)
     if isinstance(source, ast.SubqueryRef):
         columns = executor._output_columns(
             source.select, env if env is not None else Env()

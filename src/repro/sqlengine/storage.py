@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.sqlengine.errors import CatalogError, ExecutionError
+from repro.sqlengine.interval_index import IntervalIndex
 from repro.sqlengine.types import SqlType, coerce
-from repro.sqlengine.values import Null, sort_key
+from repro.sqlengine.values import Date, Null, sort_key
 
 
 class Column:
@@ -64,6 +65,12 @@ class Table:
         # bumping `version` on any mutation
         self.version = 0
         self._hash_indexes: dict[int, tuple[int, dict]] = {}
+        # declared (begin, end) period column pairs plus the lazily-built
+        # interval indexes and change-point sets over them, all version-
+        # invalidated like the hash indexes
+        self.interval_pairs: list[tuple[str, str]] = []
+        self._interval_indexes: dict[tuple[int, int], tuple[int, IntervalIndex]] = {}
+        self._change_points: dict[tuple[int, int], tuple[int, frozenset[int]]] = {}
 
     # -- metadata -----------------------------------------------------------
 
@@ -321,13 +328,62 @@ class Table:
         self._hash_indexes[column_index] = (self.version, index)
         return index
 
+    def declare_interval(self, begin_column: str, end_column: str) -> None:
+        """Declare a ``(begin, end)`` period column pair as eligible for
+        interval-index scans (idempotent).  The temporal registry calls
+        this when a table gains VALIDTIME or TRANSACTIONTIME columns."""
+        pair = (begin_column.lower(), end_column.lower())
+        # validate both columns exist up front
+        self.column_index(begin_column)
+        self.column_index(end_column)
+        if pair not in self.interval_pairs:
+            self.interval_pairs.append(pair)
+
+    def interval_index(self, begin_index: int, end_index: int) -> IntervalIndex:
+        """The interval index over a column-index pair (see
+        :mod:`repro.sqlengine.interval_index`).  Built lazily and rebuilt
+        whenever the table has been mutated since the last build."""
+        key = (begin_index, end_index)
+        cached = self._interval_indexes.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        index = IntervalIndex(self.rows, begin_index, end_index)
+        self._interval_indexes[key] = (self.version, index)
+        return index
+
+    def change_points(self, begin_index: int, end_index: int) -> frozenset[int]:
+        """Every begin/end day ordinal appearing in the column pair.
+
+        Cached against ``version`` so sequenced statements merge
+        per-table sets instead of rescanning unchanged tables.  A Date
+        bound counts even when the opposite bound is NULL, matching
+        :func:`repro.temporal.period.collect_change_points`.
+        """
+        key = (begin_index, end_index)
+        cached = self._change_points.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        points: set[int] = set()
+        for row in self.rows:
+            begin = row[begin_index]
+            end = row[end_index]
+            if isinstance(begin, Date):
+                points.add(begin.ordinal)
+            if isinstance(end, Date):
+                points.add(end.ordinal)
+        frozen = frozenset(points)
+        self._change_points[key] = (self.version, frozen)
+        return frozen
+
     def clone_empty(self, name: Optional[str] = None) -> "Table":
         """A new empty table with the same column layout."""
-        return Table(
+        clone = Table(
             name or self.name,
             [Column(c.name, c.type, c.not_null, c.primary_key) for c in self.columns],
             temporary=self.temporary,
         )
+        clone.interval_pairs = list(self.interval_pairs)
+        return clone
 
     def __len__(self) -> int:
         return len(self.rows)

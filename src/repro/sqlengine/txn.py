@@ -141,16 +141,17 @@ class _Mark:
 
 
 def _restore_table_version(table, version: int) -> None:
-    """Reset a table's version, evicting hash indexes built later.
+    """Reset a table's version, evicting derived structures built later.
 
     A restored counter can climb back to the same value over different
-    rows, so any index built during the rolled-back window must go.
+    rows, so any hash index, interval index or change-point set built
+    during the rolled-back window must go.
     """
     table.version = version
-    indexes = table._hash_indexes
-    stale = [key for key, (built, _) in indexes.items() if built > version]
-    for key in stale:
-        del indexes[key]
+    for cache in (table._hash_indexes, table._interval_indexes, table._change_points):
+        stale = [key for key, (built, _) in cache.items() if built > version]
+        for key in stale:
+            del cache[key]
 
 
 def _apply_undo(entry: tuple) -> None:
@@ -314,6 +315,11 @@ class TransactionManager:
         db = self.db
         db.stats.rollbacks += 1
         db.plan_cache.evict_newer(db.catalog.schema_version)
+        # the constant-period materialization cache keys on table version
+        # counters that rollback just restored; entries recorded during
+        # the rolled-back window would falsely revalidate once the
+        # counters climb back up over different rows
+        db.cp_cache.clear()
         for hook in self.rollback_hooks:
             hook()
 

@@ -28,7 +28,7 @@ from repro.sqlengine.engine import Database
 from repro.sqlengine.storage import Column, Table
 from repro.sqlengine.types import SqlType
 from repro.sqlengine.values import Date
-from repro.temporal.period import Period, collect_change_points, constant_periods
+from repro.temporal.period import Period, constant_periods
 from repro.temporal.schema import TemporalRegistry
 
 TS_COLUMN = "time_point"
@@ -75,22 +75,40 @@ def build_constant_period_sql(
     )
 
 
+def _cp_sources(
+    db: Database, table_names: Iterable[str], registry: TemporalRegistry
+) -> list[tuple[Table, str, str]]:
+    """Resolve the named tables with their period columns."""
+    sources = []
+    for name in table_names:
+        table = db.catalog.get_table(name)
+        info = registry.get(table.name)
+        assert info is not None
+        sources.append((table, info.begin_column, info.end_column))
+    return sources
+
+
 def compute_constant_periods(
     db: Database,
     table_names: Iterable[str],
     registry: TemporalRegistry,
     context: Period,
 ) -> list[Period]:
-    """Native computation of the constant periods of the named tables."""
-    tables = [db.catalog.get_table(name) for name in table_names]
+    """Native computation of the constant periods of the named tables.
+
+    Merges each table's version-cached change-point set (see
+    :meth:`Table.change_points`), so only tables mutated since the last
+    sequenced statement are rescanned.
+    """
     points: set[int] = set()
-    for table in tables:
-        info = registry.get(table.name)
-        assert info is not None
-        points |= collect_change_points(
-            [table], info.begin_column, info.end_column
+    for table, begin_column, end_column in _cp_sources(db, table_names, registry):
+        points |= table.change_points(
+            table.column_index(begin_column), table.column_index(end_column)
         )
     return constant_periods(points, context)
+
+
+_CP_COLUMNS = ("begin_time", "end_time")
 
 
 def materialize_constant_periods(
@@ -100,28 +118,75 @@ def materialize_constant_periods(
     context: Period,
     cp_name: str,
 ) -> int:
-    """(Re)create temp table ``cp_name(begin_time, end_time)``.
+    """(Re)fill temp table ``cp_name(begin_time, end_time)``.
 
     Returns the number of constant periods materialized.  Clipping: the
     paper's Figure-8 query ranges over points inside the context; the
     context boundaries themselves bound the first and last periods.
+
+    The whole rebuild is skipped when nothing it depends on changed
+    since the last materialization into ``cp_name``: same source tables
+    at the same versions, same context, and the cp table itself
+    untouched (``db.cp_cache``, cleared on rollback and recovery because
+    restored version counters can climb back to cached values over
+    different rows).
     """
-    periods = compute_constant_periods(db, table_names, registry, context)
-    if db.catalog.has_table(cp_name):
-        db.catalog.drop_table(cp_name)
-    table = Table(
-        cp_name,
-        [Column("begin_time", SqlType("DATE")), Column("end_time", SqlType("DATE"))],
-        temporary=True,
+    sources = _cp_sources(db, table_names, registry)
+    signature = (
+        (context.begin, context.end),
+        tuple(
+            (table.name.lower(), table.version, begin_column, end_column)
+            for table, begin_column, end_column in sources
+        ),
     )
-    for period in periods:
-        table.rows.append([Date(period.begin), Date(period.end)])
-    table.version += 1
+    cached = db.cp_cache.get(cp_name)
+    if cached is not None:
+        cached_signature, cached_tables, cp_table, cp_version, count = cached
+        if (
+            cached_signature == signature
+            and len(cached_tables) == len(sources)
+            and all(
+                cached_table is source[0]
+                for cached_table, source in zip(cached_tables, sources)
+            )
+            and db.catalog.has_table(cp_name)
+            and db.catalog.get_table(cp_name) is cp_table
+            and cp_table.version == cp_version
+        ):
+            db.obs.inc("stratum.cp.cache_hits")
+            # the slice counter still advances: this execution evaluates
+            # one slice per cached period exactly as a rebuild would
+            db.obs.inc("stratum.slices", count)
+            return count
+    periods = compute_constant_periods(db, table_names, registry, context)
+    cp_table = db.catalog.get_table(cp_name) if db.catalog.has_table(cp_name) else None
+    if (
+        cp_table is None
+        or not cp_table.temporary
+        or tuple(name.lower() for name in cp_table.column_names) != _CP_COLUMNS
+    ):
+        cp_table = Table(
+            cp_name,
+            [Column("begin_time", SqlType("DATE")), Column("end_time", SqlType("DATE"))],
+            temporary=True,
+        )
+        db.catalog.add_table(cp_table, replace=True)
+    # routed through the logged primitive so temp-table state follows the
+    # same txn discipline as every other write
+    cp_table.replace_rows(
+        [[Date(period.begin), Date(period.end)] for period in periods]
+    )
     db.stats.count_rows(len(periods), "constant_periods")
     # the canonical slice counter: every sequenced execution's constant
     # periods pass through here (EXPLAIN ANALYZE and the obs tests read it)
     db.obs.inc("stratum.slices", len(periods))
-    db.catalog.add_table(table, replace=True)
+    db.cp_cache[cp_name] = (
+        signature,
+        tuple(table for table, _, _ in sources),
+        cp_table,
+        cp_table.version,
+        len(periods),
+    )
     return len(periods)
 
 

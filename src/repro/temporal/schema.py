@@ -78,6 +78,10 @@ class TemporalRegistry:
                 txn.wal.record_registry(self.wal_dim, info)
         self._tables[info.key] = info
         self.version += 1
+        # the period pair is now an interval-index candidate: the
+        # executor prunes scans bounded on both columns (declaring is
+        # metadata only; the index itself builds lazily on first probe)
+        table.declare_interval(info.begin_column, info.end_column)
 
     def remove(self, name: str) -> None:
         key = name.lower()

@@ -45,7 +45,7 @@ from repro.temporal.max_slicing import (
     statement_key,
     transform_query_max,
 )
-from repro.temporal.period import Period, coalesce, collect_change_points
+from repro.temporal.period import Period, coalesce
 from repro.temporal.perst_slicing import (
     BEGIN_PARAM,
     END_PARAM,
@@ -221,6 +221,9 @@ class TemporalStratum:
         if version != self.db.catalog.schema_version:
             del self._transform_cache[key]
             return None
+        # LRU refresh: re-insert at the end of the (insertion-ordered)
+        # dict so hot transformations survive capacity pressure
+        self._transform_cache[key] = self._transform_cache.pop(key)
         self.db.stats.transform_cache_hits += 1
         return payload
 
@@ -239,9 +242,12 @@ class TemporalStratum:
         reflects them and stays stable across reuse."""
         if not self.db.plan_caching_enabled:
             return
-        if len(self._transform_cache) >= self.TRANSFORM_CACHE_CAPACITY:
-            self._transform_cache.clear()
-        self._transform_cache[key] = (self.db.catalog.schema_version, payload)
+        cache = self._transform_cache
+        if key not in cache and len(cache) >= self.TRANSFORM_CACHE_CAPACITY:
+            # evict the least recently used entry (dict order: oldest
+            # first, fetches re-insert at the end)
+            del cache[next(iter(cache))]
+        cache[key] = (self.db.catalog.schema_version, payload)
 
     # ------------------------------------------------------------------
     # registration / DDL
@@ -643,8 +649,10 @@ class TemporalStratum:
         points: set[int] = set()
         for name in tables:
             info = registry.get(name)
-            points |= collect_change_points(
-                [self.db.catalog.get_table(name)], info.begin_column, info.end_column
+            table = self.db.catalog.get_table(name)
+            points |= table.change_points(
+                table.column_index(info.begin_column),
+                table.column_index(info.end_column),
             )
         if not points:
             return Period(Date.MIN_ORDINAL, Date.MAX_ORDINAL)
@@ -997,10 +1005,10 @@ class TemporalStratum:
                 points: set[int] = set()
                 for name in tables:
                     info = self.registry.get(name)
-                    points |= collect_change_points(
-                        [self.db.catalog.get_table(name)],
-                        info.begin_column,
-                        info.end_column,
+                    table = self.db.catalog.get_table(name)
+                    points |= table.change_points(
+                        table.column_index(info.begin_column),
+                        table.column_index(info.end_column),
                     )
                 if points:
                     context = Period(min(points), max(points))

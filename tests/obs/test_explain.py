@@ -80,6 +80,29 @@ class TestGoldenRunningExample:
         check_golden("running_example_nonsequenced", result.text())
 
 
+class TestGoldenIntervalIndex:
+    """Index-backed plans: a stab-shaped engine statement and the PERST
+    algebraic fragment both render IntervalIndexScan leaves."""
+
+    def test_engine_stab_plan(self, stratum):
+        result = stratum.db.execute(
+            "EXPLAIN SELECT i.id FROM item i"
+            " WHERE i.begin_time <= DATE '2010-04-01'"
+            " AND DATE '2010-04-01' < i.end_time"
+        )
+        assert any("IntervalIndexScan" in line for line in result.lines)
+        check_golden("interval_stab_plan", result.text())
+
+    def test_sequenced_algebraic_plan(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+            " SELECT i.id, i.price FROM item i",
+            strategy=SlicingStrategy.PERST,
+        )
+        assert any("IntervalIndexScan" in line for line in result.lines)
+        check_golden("interval_sequenced_perst_plan", result.text())
+
+
 class TestGoldenBenchmarkQueries:
     """Three τPSM queries on DS1-SMALL (deterministic generator).
 

@@ -283,3 +283,61 @@ class TestRuleRegression:
         else:
             assert choice.rule == "default"
             assert choice.strategy is SlicingStrategy.PERST
+
+
+class TestIndexedRealityCalibration:
+    """The per-slice timer that calibrates the measured mode is recorded
+    around the interval-pruned MAX loop, so AUTO/COST unit costs reflect
+    indexed (not linear-scan) per-slice work."""
+
+    SCAN_QUERY = "SELECT COUNT(*) AS n FROM item"
+
+    def sequenced(self, dataset, days=CONTEXT_DAYS):
+        begin, end = context_bounds(dataset, days)
+        return (
+            f"VALIDTIME [DATE '{begin}', DATE '{end}'] " + self.SCAN_QUERY
+        )
+
+    def test_pruned_loop_feeds_the_slice_timer(self, small_dataset):
+        stratum = small_dataset.stratum
+        db = stratum.db
+        timer = db.obs.timer("stratum.max.slice_seconds")
+        samples_before = timer.count
+        hits_before = db.obs.value("engine.interval_index_hits")
+        stratum.execute(self.sequenced(small_dataset), strategy=SlicingStrategy.MAX)
+        # the run recorded per-slice samples AND went through the index
+        assert timer.count > samples_before
+        assert db.obs.value("engine.interval_index_hits") > hits_before
+
+    def test_measured_max_cost_uses_the_recorded_slice_mean(self, small_dataset):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.temporal.constant_periods import compute_constant_periods
+
+        stratum = small_dataset.stratum
+        db = stratum.db
+        stratum.execute(self.sequenced(small_dataset), strategy=SlicingStrategy.MAX)
+        slice_mean = db.obs.mean("stratum.max.slice_seconds")
+        assert slice_mean is not None and slice_mean > 0.0
+
+        stmt = parse_statement(self.sequenced(small_dataset))
+        context = small_dataset.context(CONTEXT_DAYS)
+        static = estimate_costs(
+            stmt, db, stratum.registry, context, mode="static"
+        )
+        periods = len(
+            compute_constant_periods(db, ["item"], stratum.registry, context)
+        )
+        # a controlled registry carrying the *real* indexed slice mean and
+        # a row mean chosen so the measurement is decisive and agrees with
+        # the static preference (so arbitration lets measurement through)
+        obs = MetricsRegistry()
+        obs.timer("stratum.max.slice_seconds").record(slice_mean * 10, 10)
+        row_mean = (
+            slice_mean * 1e-6 if static.prefers_perst else slice_mean * 1e6
+        )
+        obs.timer("stratum.perst.row_seconds").record(row_mean * 10, 10)
+        estimate = estimate_costs(
+            stmt, db, stratum.registry, context, obs=obs
+        )
+        assert estimate.mode == "measured"
+        assert estimate.max_cost == pytest.approx(periods * slice_mean)

@@ -129,3 +129,43 @@ class TestAblationSwitch:
         assert transforms_after == transforms_before + 1
         assert hits_after == hits_before
         assert second.coalesced() == first.coalesced()
+
+
+class TestLruEviction:
+    """Capacity pressure evicts the least recently used entry, not the
+    whole cache — a hot transformation must survive a flood of one-off
+    statements."""
+
+    def filler(self, i):
+        return (
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-07-01']"
+            f" SELECT first_name FROM author WHERE last_name = 'f{i}'"
+        )
+
+    def test_hot_key_survives_capacity_pressure(self, stratum):
+        stratum.TRANSFORM_CACHE_CAPACITY = 4
+        stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        for i in range(8):
+            stratum.execute(self.filler(i), strategy=SlicingStrategy.MAX)
+            # touching the hot key between fillers refreshes its recency
+            stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        assert len(stratum._transform_cache) <= 4
+        transforms_before, hits_before = counters(stratum)
+        stratum.execute(SEQ_Q, strategy=SlicingStrategy.MAX)
+        transforms_after, hits_after = counters(stratum)
+        assert transforms_after == transforms_before  # still cached
+        assert hits_after == hits_before + 1
+
+    def test_evicts_oldest_untouched_entry(self, stratum):
+        stratum.TRANSFORM_CACHE_CAPACITY = 4
+        statements = [self.filler(i) for i in range(4)]
+        for statement in statements:
+            stratum.execute(statement, strategy=SlicingStrategy.MAX)
+        # refresh filler 0, then overflow: filler 1 is now the oldest
+        stratum.execute(statements[0], strategy=SlicingStrategy.MAX)
+        stratum.execute(self.filler(99), strategy=SlicingStrategy.MAX)
+        transforms_before, _ = counters(stratum)
+        stratum.execute(statements[0], strategy=SlicingStrategy.MAX)  # hit
+        assert counters(stratum)[0] == transforms_before
+        stratum.execute(statements[1], strategy=SlicingStrategy.MAX)  # evicted
+        assert counters(stratum)[0] == transforms_before + 1
