@@ -148,6 +148,9 @@ def trace_summary(db) -> dict:
     slice counts, per-slice/per-invocation timing means, rows
     scanned/written by source, cache traffic, undo-log depth.
     """
+    # recompute the storage gauge so the payload carries the columnar
+    # footprint of the run that produced it
+    db.refresh_storage_gauges()
     summary = {
         "stats": db.stats.snapshot(),
         "metrics": db.obs.snapshot(),

@@ -72,7 +72,12 @@ def describe_plan(plan: Any, depth: int = 0) -> list[str]:
         suffix = f" [{', '.join(shape)}]" if shape else ""
         lines = [pad + f"Select ({len(plan.columns)} columns{suffix})"]
         if plan.where_c is not None:
-            lines.append(pad + "  filter: compiled predicate")
+            if plan.single_scan is not None:
+                lines.append(
+                    pad + "  filter: vectorized selection (evaluated in scan)"
+                )
+            else:
+                lines.append(pad + "  filter: compiled predicate")
         for source in plan.sources:
             lines.extend(_describe_source(source, depth + 1))
         return lines
@@ -87,6 +92,16 @@ def describe_plan(plan: Any, depth: int = 0) -> list[str]:
     return [pad + type(plan).__name__]
 
 
+def _scan_filter_note(source: Any) -> str:
+    """How the scan's pushed-down conjuncts will be evaluated."""
+    if not source.conjuncts:
+        return ""
+    batch = source.batch
+    if batch is not None and batch.consumes_all:
+        return f" (vectorized filter: {len(batch.kernels)} kernels)"
+    return " (row-at-a-time filter)"
+
+
 def _describe_source(source: Any, depth: int) -> list[str]:
     from repro.sqlengine import planner
 
@@ -96,12 +111,11 @@ def _describe_source(source: Any, depth: int) -> list[str]:
         begin_column, end_column = source.pair
         return [
             pad + f"IntervalIndexScan {source.name}{alias}"
-            f" ({begin_column}/{end_column})"
+            f" ({begin_column}/{end_column})" + _scan_filter_note(source)
         ]
     if isinstance(source, planner._Scan):
-        probe = " (hash-probe candidate)" if source.conjuncts else ""
         alias = f" AS {source.alias}" if source.alias.lower() != source.name.lower() else ""
-        return [pad + f"Scan {source.name}{alias}{probe}"]
+        return [pad + f"Scan {source.name}{alias}{_scan_filter_note(source)}"]
     if isinstance(source, planner._View):
         return [pad + f"View {source.name}"]
     if isinstance(source, planner._Subquery):

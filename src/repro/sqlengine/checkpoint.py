@@ -19,8 +19,11 @@ generations and ignores the stale log, so committed work is never
 applied twice.  A crash before step 2 leaves the old snapshot + old WAL
 pair untouched.
 
-Snapshot contents: catalog tables (column metadata + rows; temporary
-tables excluded), views and routines (as SQL text), the temporal
+Snapshot contents: catalog tables (column metadata + rows, transposed
+into the columnar encoding of
+:func:`repro.sqlengine.wal.encode_rows_columnar`, which shrinks the
+date-heavy temporal tables substantially; temporary tables excluded),
+views and routines (as SQL text), the temporal
 registries of a bound stratum, the stratum's nonsequenced-only routine
 bookkeeping, and CURRENT_DATE.  The payload is guarded by a CRC header
 line so a torn snapshot is detected and rejected at load time.
@@ -34,7 +37,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.sqlengine.wal import WalError, encode_row
+from repro.sqlengine.wal import WalError, encode_rows_columnar
 
 SNAPSHOT_MAGIC = "TAUPSM-SNAPSHOT-1"
 
@@ -59,7 +62,7 @@ def build_snapshot(manager) -> dict[str, Any]:
                     ]
                     for c in table.columns
                 ],
-                "rows": [encode_row(r) for r in table.rows],
+                "cols": encode_rows_columnar(table.rows),
             }
         )
     payload: dict[str, Any] = {

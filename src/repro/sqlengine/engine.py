@@ -190,10 +190,27 @@ class Database:
         # stratum skip the rebuild when nothing changed.
         self.interval_indexing_enabled = True
         self.cp_cache: dict = {}
+        # vectorized WHERE evaluation over the derived column stores
+        # (storage.ColumnStore + exprcompile batch kernels);
+        # `vectorized_filtering_enabled` is the ablation switch — off,
+        # every scan runs the row-at-a-time compiled predicate.
+        self.vectorized_filtering_enabled = True
         # undo-log transaction manager: statement guards, explicit
         # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
         self.txn = TransactionManager(self)
         self.catalog.txn = self.txn
+
+    # -- observability ---------------------------------------------------
+
+    def refresh_storage_gauges(self) -> int:
+        """Recompute the ``engine.bytes_resident`` gauge: the summed
+        byte estimate of every catalog table's columnar image.  Called
+        on demand (``.metrics``, ``trace_summary``) rather than per
+        statement — building a store for a never-scanned table is work
+        we only want when someone is looking."""
+        total = sum(table.bytes_resident() for table in self.catalog.tables())
+        self.obs.set_gauge("engine.bytes_resident", total)
+        return total
 
     # -- CURRENT_DATE ----------------------------------------------------
 

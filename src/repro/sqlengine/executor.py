@@ -761,6 +761,26 @@ class Executor:
             obs.inc("engine.interval_rows_pruned", pruned)
         return rows
 
+    def _interval_candidate_positions(
+        self, table: Table, probe: tuple[int, int, Optional[int], Optional[int]]
+    ) -> list[int]:
+        """Candidate *positions* for an interval probe (ascending) — the
+        selection-vector twin of :meth:`_interval_candidates`, with the
+        same metrics."""
+        begin_index, end_index, begin_max, end_min = probe
+        if begin_max is None:
+            positions: list[int] = []
+        else:
+            positions = table.interval_index(begin_index, end_index).search_positions(
+                begin_max, end_min
+            )
+        obs = self.db.obs
+        obs.inc("engine.interval_index_hits")
+        pruned = len(table.rows) - len(positions)
+        if pruned:
+            obs.inc("engine.interval_rows_pruned", pruned)
+        return positions
+
     def _column_of(
         self,
         expr: ast.Expression,
@@ -1054,14 +1074,20 @@ class Executor:
     def execute_create_table(self, stmt: ast.CreateTable, env: Optional[Env]) -> None:
         if stmt.as_select is not None:
             result = self.execute_select(stmt.as_select, env)
+            declared = self._ctas_declared_schema(
+                stmt.as_select, env, len(result.columns)
+            )
+            types, pairs = declared if declared is not None else ({}, [])
             columns = [
-                Column(name, _infer_column_type(result.rows, i))
+                Column(name, types.get(i) or _infer_column_type(result.rows, i))
                 for i, name in enumerate(result.columns)
             ]
             table = Table(stmt.name, columns, temporary=stmt.temporary)
             for row in result.rows:
                 table.rows.append(list(row))
             table.version += 1
+            for begin_column, end_column in pairs:
+                table.declare_interval(begin_column, end_column)
             self.db.stats.count_rows(len(result.rows), "insert")
             self.db.catalog.add_table(table, replace=stmt.temporary)
             return
@@ -1079,6 +1105,77 @@ class Executor:
             Table(stmt.name, columns, temporary=stmt.temporary),
             replace=stmt.temporary,
         )
+
+    def _ctas_declared_schema(
+        self, select: ast.Select, env: Optional[Env], expected_count: int
+    ) -> Optional[tuple[dict[int, SqlType], list[tuple[str, str]]]]:
+        """Statically propagated schema for ``CREATE TABLE ... AS select``.
+
+        When the select is a projection over exactly one base table,
+        every output that is a plain column reference (or part of a
+        ``*``) keeps the *declared* source column type instead of a
+        row-sampled inference, and any declared interval pair whose both
+        columns survive the projection is re-declared under the output
+        names.  Without this, temp tables built by the temporal
+        transforms (cp tables, PERST auxiliaries) silently lose their
+        DATE declarations on empty results and their period pairs
+        always — degrading them to the unbatchable fallback path.
+
+        Returns ``(output index → type, [(begin, end), ...])`` or None
+        when the shape is not a single-table projection.
+        """
+        if (
+            select.set_op is not None
+            or len(select.from_items) != 1
+            or not isinstance(select.from_items[0], ast.TableRef)
+        ):
+            return None
+        ref = select.from_items[0]
+        if self.db.catalog.has_view(ref.name):
+            return None
+        try:
+            table = self._resolve_table(ref.name, env)
+        except SqlError:
+            return None
+        binding = ref.binding.lower()
+        types: dict[int, SqlType] = {}
+        # source column (lowercased) → output name, for surviving pairs;
+        # a source column projected twice keeps its first output name
+        out_names: dict[str, str] = {}
+        position = 0
+        for item in select.items:
+            if item.is_star:
+                if (
+                    item.star_qualifier is not None
+                    and item.star_qualifier.lower() != binding
+                ):
+                    return None
+                for column in table.columns:
+                    types[position] = column.type
+                    out_names.setdefault(column.name.lower(), column.name)
+                    position += 1
+                continue
+            expr = item.expr
+            while isinstance(expr, ast.Parenthesized):
+                expr = expr.expr
+            if (
+                isinstance(expr, ast.Name)
+                and (expr.qualifier is None or expr.qualifier.lower() == binding)
+                and table.has_column(expr.name)
+            ):
+                index = table.column_index(expr.name)
+                types[position] = table.columns[index].type
+                out_name = item.alias or expr.name
+                out_names.setdefault(expr.name.lower(), out_name)
+            position += 1
+        if position != expected_count:
+            return None
+        pairs = [
+            (out_names[begin], out_names[end])
+            for begin, end in table.interval_pairs
+            if begin in out_names and end in out_names
+        ]
+        return types, pairs
 
     # ------------------------------------------------------------------
     # expression evaluation
@@ -1420,7 +1517,47 @@ def _freeze_env(env: Env) -> Env:
 
 
 def _infer_column_type(rows: list[list[Any]], index: int) -> SqlType:
+    """Unify a declared type over *all* of the column's non-NULL values.
+
+    Inferring from the first value alone would declare too narrow a type
+    when later rows widen (int → float, longer strings) — and a wrong
+    declaration degrades the table's derived column vector to ``obj``,
+    silently losing the vectorized path.  Numeric kinds unify upward
+    (bool → int → float); anything heterogeneous beyond that keeps the
+    legacy first-value inference.
+    """
+    saw: Any = None
+    length = 1
+    first: Any = None
     for row in rows:
-        if row[index] is not Null:
-            return infer_type(row[index])
-    return SqlType("VARCHAR", length=255)
+        value = row[index]
+        if value is Null:
+            continue
+        if first is None:
+            first = value
+        if isinstance(value, bool):
+            kind = "bool"
+        elif isinstance(value, int):
+            kind = "int"
+        elif isinstance(value, float):
+            kind = "float"
+        elif isinstance(value, str):
+            kind = "str"
+            length = max(length, len(value))
+        elif isinstance(value, Date):
+            kind = "date"
+        else:
+            return infer_type(first)
+        if saw is None or saw == kind:
+            saw = kind
+        elif {saw, kind} <= {"bool", "int", "float"}:
+            saw = "float" if "float" in (saw, kind) else "int"
+        else:
+            return infer_type(first)
+    if saw is None:
+        return SqlType("VARCHAR", length=255)
+    if saw == "str":
+        return SqlType("VARCHAR", length=length)
+    return SqlType(
+        {"bool": "BOOLEAN", "int": "INTEGER", "float": "FLOAT", "date": "DATE"}[saw]
+    )

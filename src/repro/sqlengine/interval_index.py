@@ -69,9 +69,9 @@ class IntervalIndex:
 
     # -- queries ------------------------------------------------------------
 
-    def search(self, begin_max: int, end_min: int) -> list[list[Any]]:
-        """Rows with ``begin <= begin_max AND end >= end_min`` (ordinals),
-        in table position order."""
+    def _search_hits(self, begin_max: int, end_min: int) -> list[int]:
+        """Entry indexes with ``begin <= begin_max AND end >= end_min``,
+        sorted by table position."""
         prefix = bisect_right(self._begins, begin_max)
         if prefix == 0:
             return []
@@ -95,8 +95,19 @@ class IntervalIndex:
             stack.append((2 * node + 1, mid, hi))
             stack.append((2 * node, lo, mid))
         hits.sort(key=self._positions.__getitem__)
+        return hits
+
+    def search(self, begin_max: int, end_min: int) -> list[list[Any]]:
+        """Rows with ``begin <= begin_max AND end >= end_min`` (ordinals),
+        in table position order."""
         rows = self._rows
-        return [rows[i] for i in hits]
+        return [rows[i] for i in self._search_hits(begin_max, end_min)]
+
+    def search_positions(self, begin_max: int, end_min: int) -> list[int]:
+        """Table positions (ascending) of the rows :meth:`search` would
+        return — the entry point for the vectorized selection path."""
+        positions = self._positions
+        return [positions[i] for i in self._search_hits(begin_max, end_min)]
 
     def stab(self, point: int) -> list[list[Any]]:
         """Rows alive at ``point``: ``begin <= point AND point < end``."""

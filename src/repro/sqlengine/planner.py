@@ -41,7 +41,11 @@ from repro.sqlengine.executor import (
     _Reversed,
     _split_conjuncts,
 )
-from repro.sqlengine.exprcompile import compile_expression, compile_grouped
+from repro.sqlengine.exprcompile import (
+    compile_batch_filter,
+    compile_expression,
+    compile_grouped,
+)
 from repro.sqlengine.values import Null, sort_key, truth
 
 
@@ -94,10 +98,11 @@ def _compile_grouped_or_bail(executor: Executor, expr: ast.Expression, layout: d
 
 
 class _Scan:
-    """Base-table scan, optionally narrowed through a hash-index probe."""
+    """Base-table scan, optionally narrowed through a hash-index probe,
+    an interval-index probe, and/or the vectorized batch kernels."""
 
     __slots__ = ("name", "alias", "key", "colmap", "expected", "conjuncts",
-                 "from_items")
+                 "from_items", "batch")
 
     def __init__(
         self,
@@ -107,6 +112,7 @@ class _Scan:
         expected: dict,
         conjuncts: list,
         from_items: Optional[list],
+        batch: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.alias = alias
@@ -115,6 +121,7 @@ class _Scan:
         self.expected = expected
         self.conjuncts = conjuncts
         self.from_items = from_items
+        self.batch = batch
 
     def _table(self, executor: Executor, env: Env):
         if executor.db.catalog.has_view(self.name):
@@ -127,9 +134,18 @@ class _Scan:
     def validate(self, executor: Executor, env: Env) -> None:
         self._table(executor, env)
 
-    def bind(self, executor: Executor, env: Env) -> Iterator[Env]:
-        table = self._table(executor, env)
-        rows = table.rows
+    def _candidates(
+        self, executor: Executor, table, env: Env
+    ) -> tuple[list, bool]:
+        """Candidate rows plus a *fully filtered* flag.
+
+        The flag is True only when the batch kernels ran and cover every
+        WHERE conjunct, so the caller may skip the per-row predicate.
+        Candidate counts feed ``engine.rows_scanned`` identically on the
+        vectorized and row-at-a-time paths (pre-kernel counts).
+        """
+        db = executor.db
+        obs = db.obs
         if self.conjuncts:
             probe = executor._find_index_probe(
                 table, self.alias, self.conjuncts, env, self.from_items
@@ -140,16 +156,53 @@ class _Scan:
                     rows = []
                 else:
                     rows = table.hash_index(column_index).get(sort_key(value), [])
-            else:
-                interval = executor._find_interval_probe(
-                    table, self.alias, self.conjuncts, env, self.from_items
-                )
-                if interval is not None:
-                    rows = executor._interval_candidates(table, interval)
+                obs.inc("engine.rows_scanned", len(rows))
+                return rows, False
+            # batch kernels only run when they cover *every* conjunct:
+            # a partial batch could drop a row before another conjunct
+            # gets the chance to raise the error the interpreted path
+            # would have raised on it
+            batch = self.batch
+            if batch is not None and not (
+                batch.consumes_all and db.vectorized_filtering_enabled
+            ):
+                batch = None
+            interval = executor._find_interval_probe(
+                table, self.alias, self.conjuncts, env, self.from_items
+            )
+            if interval is not None:
+                positions = executor._interval_candidate_positions(table, interval)
+                obs.inc("engine.rows_scanned", len(positions))
+                table_rows = table.rows
+                if batch is not None:
+                    selected = batch.apply(table, positions, env)
+                    if selected is not None:
+                        obs.inc("engine.vectorized_batches")
+                        pruned = len(positions) - len(selected)
+                        if pruned:
+                            obs.inc("engine.vectorized_rows_pruned", pruned)
+                        return [table_rows[p] for p in selected], True
+                return [table_rows[p] for p in positions], False
+            obs.inc("engine.rows_scanned", len(table.rows))
+            if batch is not None:
+                selected = batch.apply(table, range(len(table.rows)), env)
+                if selected is not None:
+                    obs.inc("engine.vectorized_batches")
+                    pruned = len(table.rows) - len(selected)
+                    if pruned:
+                        obs.inc("engine.vectorized_rows_pruned", pruned)
+                    table_rows = table.rows
+                    return [table_rows[p] for p in selected], True
+            return table.rows, False
+        obs.inc("engine.rows_scanned", len(table.rows))
+        return table.rows, False
+
+    def bind(self, executor: Executor, env: Env) -> Iterator[Env]:
+        table = self._table(executor, env)
+        rows, _ = self._candidates(executor, table, env)
         key = self.key
         colmap = self.colmap
         bindings = env.bindings
-        executor.db.obs.inc("engine.rows_scanned", len(rows))
         for row in rows:
             bindings[key] = Binding(colmap, row)
             yield env
@@ -448,6 +501,13 @@ def _build_leaf(
             return _View(source.name, source.binding, columns, view)
         table = executor._resolve_table(source.name, env)
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
+        batch = (
+            compile_batch_filter(
+                executor, table, source.binding, conjuncts, from_items
+            )
+            if conjuncts
+            else None
+        )
         scan_args = (
             source.name,
             source.binding,
@@ -455,6 +515,7 @@ def _build_leaf(
             dict(table._index),
             conjuncts,
             from_items,
+            batch,
         )
         if conjuncts and table.interval_pairs:
             pair = _static_interval_pair(
@@ -680,7 +741,8 @@ def _build_select(
 
 class SelectPlan:
     __slots__ = ("sources", "where_c", "columns", "grouped", "group_cs",
-                 "having_c", "item_plans", "order_entries", "distinct")
+                 "having_c", "item_plans", "order_entries", "distinct",
+                 "single_scan")
 
     def __init__(
         self,
@@ -703,6 +765,18 @@ class SelectPlan:
         self.item_plans = item_plans
         self.order_entries = order_entries
         self.distinct = distinct
+        # the WHERE fast path: a lone base-table scan whose batch
+        # kernels cover the whole predicate may skip `where_c` per row
+        self.single_scan = (
+            sources[0]
+            if (
+                len(sources) == 1
+                and isinstance(sources[0], _Scan)
+                and sources[0].batch is not None
+                and sources[0].batch.consumes_all
+            )
+            else None
+        )
 
     def run(self, executor: Executor, env: Optional[Env], apply_order: bool) -> ResultSet:
         base_env = env if env is not None else Env()
@@ -714,12 +788,9 @@ class SelectPlan:
         if self.grouped:
             return self._run_grouped(executor, base_env, apply_order)
         order = self.order_entries if (apply_order and self.order_entries) else None
-        where_c = self.where_c
         rows: list = []
         keys: list = []
-        for row_env in self._row_envs(executor, base_env):
-            if where_c is not None and not truth(where_c(row_env)):
-                continue
+        for row_env in self._filtered_envs(executor, base_env):
             row = self._project(row_env)
             rows.append(row)
             if order:
@@ -730,6 +801,39 @@ class SelectPlan:
         if self.distinct:
             rows = _distinct_rows(rows)
         return ResultSet(self.columns, rows)
+
+    def _filtered_envs(self, executor: Executor, base_env: Env) -> Iterator[Env]:
+        """Row environments with the WHERE clause already applied.
+
+        On the vectorized fast path (one base-table scan, batch kernels
+        covering every conjunct, kernels applicable at run time) the
+        per-row compiled predicate is skipped entirely; every other
+        shape evaluates ``where_c`` per row exactly as before.
+        """
+        where_c = self.where_c
+        scan = self.single_scan
+        if scan is not None:
+            env = base_env.child()
+            table = scan._table(executor, env)
+            src_rows, fully = scan._candidates(executor, table, env)
+            key = scan.key
+            colmap = scan.colmap
+            bindings = env.bindings
+            if fully:
+                for row in src_rows:
+                    bindings[key] = Binding(colmap, row)
+                    yield env
+            else:
+                for row in src_rows:
+                    bindings[key] = Binding(colmap, row)
+                    if truth(where_c(env)):
+                        yield env
+            bindings.pop(key, None)
+            return
+        for row_env in self._row_envs(executor, base_env):
+            if where_c is not None and not truth(where_c(row_env)):
+                continue
+            yield row_env
 
     def _row_envs(self, executor: Executor, base_env: Env) -> Iterator[Env]:
         if not self.sources:
@@ -804,11 +908,8 @@ class SelectPlan:
     def _run_grouped(
         self, executor: Executor, base_env: Env, apply_order: bool
     ) -> ResultSet:
-        where_c = self.where_c
         source_envs: list = []
-        for row_env in self._row_envs(executor, base_env):
-            if where_c is not None and not truth(where_c(row_env)):
-                continue
+        for row_env in self._filtered_envs(executor, base_env):
             source_envs.append(_freeze_env(row_env))
         groups: dict = {}
         if self.group_cs:

@@ -37,6 +37,7 @@ from repro.sqlengine.wal import (
     WalError,
     decode_column,
     decode_row,
+    decode_rows_any,
     decode_value,
     read_frames,
 )
@@ -83,7 +84,11 @@ def _apply_snapshot(manager, snapshot: dict[str, Any]) -> None:
     catalog = db.catalog
     for spec in snapshot["tables"]:
         table = Table(spec["name"], [decode_column(c) for c in spec["columns"]])
-        table.rows = [decode_row(r) for r in spec["rows"]]
+        # current snapshots store rows transposed under "cols"; older
+        # generations used a per-row list under "rows"
+        table.rows = decode_rows_any(
+            spec["cols"] if "cols" in spec else spec["rows"]
+        )
         catalog.add_table(table, replace=True)
     for name, sql in snapshot["views"]:
         select = parse_statement(sql)
@@ -241,7 +246,7 @@ def _apply_record(manager, record: list) -> None:
         table.version += 1
     elif tag == "setrows":
         table = catalog.get_table(record[1])
-        table.rows = [decode_row(r) for r in record[2]]
+        table.rows = decode_rows_any(record[2])
         table.version += 1
     elif tag == "addcol":
         table = catalog.get_table(record[1])
@@ -254,7 +259,7 @@ def _apply_record(manager, record: list) -> None:
         table.version += 1
     elif tag == "mktable":
         table = Table(record[1], [decode_column(c) for c in record[2]])
-        table.rows = [decode_row(r) for r in record[3]]
+        table.rows = decode_rows_any(record[3])
         catalog.add_table(table, replace=True)
     elif tag == "rmtable":
         if catalog.has_table(record[1]):

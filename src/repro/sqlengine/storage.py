@@ -1,12 +1,23 @@
 """In-memory table storage.
 
-Rows are plain Python lists (one slot per column) so scans, inserts and
-updates stay cheap; :class:`~repro.sqlengine.values.Row` objects are only
-materialised at result boundaries.
+Rows are plain Python lists (one slot per column) so inserts, updates,
+the undo log and WAL redo stay cheap and identity-based;
+:class:`~repro.sqlengine.values.Row` objects are only materialised at
+result boundaries.  For scans, a table additionally exposes a *derived*
+columnar representation (:class:`ColumnStore`): typed column vectors
+(stdlib ``array`` for integers, ordinals and date ordinals; lists for
+strings and everything else) plus a per-column validity bitmap for
+NULLs.  The store is version-cached exactly like the hash and interval
+indexes — rows remain the single authoritative write surface, so txn
+undo, WAL redo and recovery semantics are unchanged — and the batch
+predicate kernels in :mod:`repro.sqlengine.exprcompile` evaluate WHERE
+conjuncts over its column slices, returning selection vectors instead
+of looping rows.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.sqlengine.errors import CatalogError, ExecutionError
@@ -34,6 +45,128 @@ class Column:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Column({self.name}, {self.type})"
+
+
+def _column_kind(type_: SqlType) -> str:
+    """The vector kind a declared column type maps to.
+
+    * ``int``  — integers and booleans (booleans normalise to 0/1, the
+      same normalisation :func:`repro.sqlengine.values.compare` applies);
+    * ``date`` — day ordinals;
+    * ``float`` — FLOAT/REAL/DOUBLE (and non-integer DECIMAL/NUMERIC,
+      which the engine stores as Python floats);
+    * ``str``  — character types, stored right-stripped because
+      ``compare`` strips both sides;
+    * ``obj``  — anything else: raw values, never batch-evaluated.
+    """
+    if type_.is_integer or type_.is_boolean:
+        return "int"
+    if type_.is_date:
+        return "date"
+    if type_.name in ("FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC"):
+        return "float"
+    if type_.is_character:
+        return "str"
+    return "obj"
+
+
+class ColumnVector:
+    """One column of a :class:`ColumnStore`.
+
+    ``data`` is an ``array('q')`` of ints/ordinals, an ``array('d')`` of
+    floats, or a list (strings / raw objects); ``valid`` is a bytearray
+    validity bitmap (1 = non-NULL).  Slots holding NULL carry a dummy
+    value in ``data`` and must never be read without consulting
+    ``valid``.  A value that does not fit the declared kind degrades the
+    whole vector to ``obj`` (batch kernels then fall back to rows).
+    """
+
+    __slots__ = ("kind", "data", "valid", "nulls")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        if kind == "int" or kind == "date":
+            self.data: Any = array("q")
+        elif kind == "float":
+            self.data = array("d")
+        else:
+            self.data = []
+        self.valid = bytearray()
+        # NULL count: kernels skip the validity bitmap entirely when 0
+        self.nulls = 0
+
+    def append(self, value: Any) -> None:
+        kind = self.kind
+        if value is Null:
+            self.valid.append(0)
+            self.nulls += 1
+            self.data.append(0 if kind in ("int", "date", "float") else None)
+            return
+        if kind == "int" and isinstance(value, int):
+            try:
+                # bool is an int subclass; int() normalises it like compare
+                self.data.append(int(value))
+            except OverflowError:  # beyond 64-bit: keep the raw object
+                self._degrade()
+                self.data.append(value)
+        elif kind == "date" and isinstance(value, Date):
+            self.data.append(value.ordinal)
+        elif kind == "float" and isinstance(value, (int, float)):
+            self.data.append(float(value))
+        elif kind == "str" and isinstance(value, str):
+            self.data.append(value.rstrip())
+        elif kind == "obj":
+            self.data.append(value)
+        else:
+            # a value outside the declared kind: demote to raw objects
+            self._degrade()
+            self.data.append(value)
+        self.valid.append(1)
+
+    def _degrade(self) -> None:
+        """Demote to an ``obj`` vector, keeping positions aligned."""
+        raw = list(self.data)
+        self.kind = "obj"
+        self.data = raw
+
+    def bytes_resident(self) -> int:
+        """Estimated resident bytes of this vector (data + validity)."""
+        data = self.data
+        if isinstance(data, array):
+            payload = len(data) * data.itemsize
+        else:
+            payload = 0
+            for value in data:
+                if isinstance(value, str):
+                    payload += 49 + len(value)  # CPython str header + chars
+                else:
+                    payload += 32  # pointer + small-object estimate
+        return payload + len(self.valid)
+
+
+class ColumnStore:
+    """The derived columnar image of a table's rows.
+
+    Built from the authoritative row list and cached against
+    ``table.version`` (see :meth:`Table.column_store`); appends are
+    mirrored incrementally, every other mutation invalidates.
+    """
+
+    __slots__ = ("vectors", "row_count")
+
+    def __init__(self, columns: Sequence[Column], rows: list[list[Any]]) -> None:
+        self.vectors = [ColumnVector(_column_kind(c.type)) for c in columns]
+        self.row_count = 0
+        for row in rows:
+            self.append(row)
+
+    def append(self, row: list[Any]) -> None:
+        for vector, value in zip(self.vectors, row):
+            vector.append(value)
+        self.row_count += 1
+
+    def bytes_resident(self) -> int:
+        return sum(vector.bytes_resident() for vector in self.vectors)
 
 
 class Table:
@@ -71,6 +204,10 @@ class Table:
         self.interval_pairs: list[tuple[str, str]] = []
         self._interval_indexes: dict[tuple[int, int], tuple[int, IntervalIndex]] = {}
         self._change_points: dict[tuple[int, int], tuple[int, frozenset[int]]] = {}
+        # derived columnar image: (built_version, store) — same version
+        # discipline as the hash indexes, plus an incremental fast path
+        # in append_row (the dominant mutation)
+        self._column_store: Optional[tuple[int, ColumnStore]] = None
 
     # -- metadata -----------------------------------------------------------
 
@@ -142,6 +279,14 @@ class Table:
                 txn.wal.record_insert(self.name, row)
         self.rows.append(row)
         self.version += 1
+        cached = self._column_store
+        if cached is not None:
+            built, store = cached
+            if built == self.version - 1 and store.row_count == len(self.rows) - 1:
+                # the only mutation between the two versions is this
+                # append: mirror it instead of rebuilding the store
+                store.append(row)
+                self._column_store = (self.version, store)
 
     def insert(self, values: Sequence[Any], columns: Optional[Sequence[str]] = None) -> None:
         """Insert one row; missing columns get NULL, values are coerced."""
@@ -327,6 +472,22 @@ class Table:
             index.setdefault(sort_key(value), []).append(row)
         self._hash_indexes[column_index] = (self.version, index)
         return index
+
+    def column_store(self) -> ColumnStore:
+        """The derived columnar image of the table (see
+        :class:`ColumnStore`).  Built lazily and rebuilt whenever the
+        table has been mutated since the last build; ``append_row``
+        extends a current store in place instead of rebuilding."""
+        cached = self._column_store
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        store = ColumnStore(self.columns, self.rows)
+        self._column_store = (self.version, store)
+        return store
+
+    def bytes_resident(self) -> int:
+        """Estimated bytes held by the columnar image of this table."""
+        return self.column_store().bytes_resident()
 
     def declare_interval(self, begin_column: str, end_column: str) -> None:
         """Declare a ``(begin, end)`` period column pair as eligible for

@@ -152,6 +152,9 @@ def _restore_table_version(table, version: int) -> None:
         stale = [key for key, (built, _) in cache.items() if built > version]
         for key in stale:
             del cache[key]
+    store = table._column_store
+    if store is not None and store[0] > version:
+        table._column_store = None
 
 
 def _apply_undo(entry: tuple) -> None:

@@ -93,6 +93,77 @@ def decode_row(row: list) -> list:
     return [decode_value(v) for v in row]
 
 
+def encode_rows_columnar(rows: list) -> dict:
+    """A whole row set → transposed (columnar) JSON.
+
+    ``{"n": row_count, "cols": [{"k": kind, "v": values}, ...]}`` with
+    one entry per column and NULL encoded as ``null`` throughout:
+
+    * ``"d"`` — day ordinals (plain ints): every non-NULL cell is a Date,
+    * ``"v"`` — raw JSON scalars (bool/int/float/str),
+    * ``"m"`` — mixed: cells via :func:`encode_value` (Date-dict form).
+
+    Against the row-list encoding this drops the per-cell ``{"d": ...}``
+    wrapper for date columns — the bulk of temporal checkpoint volume —
+    and lets homogeneous columns serialize as flat scalar arrays.
+    """
+    if not rows:
+        return {"n": 0, "cols": []}
+    cols = []
+    for index in range(len(rows[0])):
+        values = [row[index] for row in rows]
+        dates = 0
+        scalars = 0
+        for value in values:
+            if value is Null:
+                continue
+            if isinstance(value, Date):
+                dates += 1
+            elif isinstance(value, (bool, int, float, str)):
+                scalars += 1
+            else:
+                raise WalError(
+                    f"cannot encode value of type {type(value).__name__} for WAL"
+                )
+        if dates and not scalars:
+            kind = "d"
+            encoded = [None if v is Null else v.ordinal for v in values]
+        elif not dates:
+            kind = "v"
+            encoded = [None if v is Null else v for v in values]
+        else:
+            kind = "m"
+            encoded = [encode_value(v) for v in values]
+        cols.append({"k": kind, "v": encoded})
+    return {"n": len(rows), "cols": cols}
+
+
+def decode_rows_columnar(data: dict) -> list:
+    """Inverse of :func:`encode_rows_columnar`."""
+    columns = []
+    for col in data["cols"]:
+        kind = col["k"]
+        values = col["v"]
+        if kind == "d":
+            columns.append([Null if v is None else Date(v) for v in values])
+        elif kind == "v":
+            columns.append([Null if v is None else v for v in values])
+        else:
+            columns.append([decode_value(v) for v in values])
+    if not columns:
+        return []
+    return [list(cells) for cells in zip(*columns)]
+
+
+def decode_rows_any(data) -> list:
+    """Decode either row-set encoding: the legacy row list or the
+    columnar dict — recovery stays compatible with both generations of
+    WAL records and snapshots."""
+    if isinstance(data, dict):
+        return decode_rows_columnar(data)
+    return [decode_row(r) for r in data]
+
+
 def frame(payload: bytes) -> bytes:
     """One length-prefixed, CRC-checksummed WAL frame."""
     return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
@@ -260,7 +331,7 @@ class DurabilityManager:
         self.buffer.append(["delpos", table, positions])
 
     def record_set_rows(self, table: str, rows: list) -> None:
-        self.buffer.append(["setrows", table, [encode_row(r) for r in rows]])
+        self.buffer.append(["setrows", table, encode_rows_columnar(rows)])
 
     def record_add_column(self, table: str, column, default: Any) -> None:
         self.buffer.append(
@@ -273,7 +344,7 @@ class DurabilityManager:
                 "mktable",
                 table.name,
                 [_encode_column(c) for c in table.columns],
-                [encode_row(r) for r in table.rows],
+                encode_rows_columnar(table.rows),
             ]
         )
 

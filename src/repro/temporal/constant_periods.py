@@ -170,6 +170,9 @@ def materialize_constant_periods(
             [Column("begin_time", SqlType("DATE")), Column("end_time", SqlType("DATE"))],
             temporary=True,
         )
+        # the cp table is stabbed per slice; declaring its period pair
+        # makes those probes interval-indexed and vectorizable
+        cp_table.declare_interval("begin_time", "end_time")
         db.catalog.add_table(cp_table, replace=True)
     # routed through the logged primitive so temp-table state follows the
     # same txn discipline as every other write

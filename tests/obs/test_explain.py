@@ -103,6 +103,42 @@ class TestGoldenIntervalIndex:
         check_golden("interval_sequenced_perst_plan", result.text())
 
 
+class TestGoldenVectorized:
+    """Pin the compile-time vectorized-vs-fallback decision per scan.
+
+    The planner annotates every scan with how its pushed-down conjuncts
+    will run: ``vectorized filter`` when every conjunct compiled to a
+    column-batch kernel, ``row-at-a-time filter`` otherwise."""
+
+    def test_vectorized_filter_plan(self, stratum):
+        result = stratum.db.execute(
+            "EXPLAIN SELECT i.id FROM item i WHERE i.price > 30.0"
+        )
+        assert any("vectorized filter" in line for line in result.lines)
+        check_golden("vectorized_filter_plan", result.text())
+
+    def test_fallback_filter_plan(self, stratum):
+        # arithmetic inside the comparison has no batch kernel, so the
+        # conjunct set falls back to the interpreted row path
+        result = stratum.db.execute(
+            "EXPLAIN SELECT i.id FROM item i WHERE i.price + 1.0 > 30.0"
+        )
+        assert any("row-at-a-time filter" in line for line in result.lines)
+        assert not any("vectorized" in line for line in result.lines)
+        check_golden("fallback_filter_plan", result.text())
+
+    def test_mixed_conjuncts_fall_back(self, stratum):
+        # one kernelizable conjunct + one that is not: partial batches
+        # never apply (they could suppress row-path errors), so the
+        # whole scan stays row-at-a-time
+        result = stratum.db.execute(
+            "EXPLAIN SELECT i.id FROM item i"
+            " WHERE i.price > 30.0 AND i.price + 1.0 > 30.0"
+        )
+        assert any("row-at-a-time filter" in line for line in result.lines)
+        check_golden("mixed_filter_plan", result.text())
+
+
 class TestGoldenBenchmarkQueries:
     """Three τPSM queries on DS1-SMALL (deterministic generator).
 
