@@ -23,6 +23,8 @@ Meta-commands (a leading dot):
 ``.trace [on|off]``toggle tracing, or show the last statement's span tree
 ``.save``          checkpoint the durable database (``--db`` sessions)
 ``.checkpoint``    alias for ``.save``
+``.timeout [S]``   show or set the per-statement deadline (``off`` clears)
+``.verify``        scrub the durable store's WAL chain and snapshot
 ``.quit``          exit (checkpoints first under ``--db``)
 =================  ========================================================
 
@@ -37,6 +39,12 @@ available non-interactively::
 ``PATH``: committed statements are write-ahead logged, ``.save`` writes
 a checkpoint, and the next ``--db PATH`` session recovers the state —
 including temporal registrations and routines — even after a crash.
+
+``python -m repro verify --db PATH [--quarantine]`` scrubs a durable
+store *offline* (no recovery, no mutation): it walks the WAL CRC chain
+and the snapshot header, reports the first torn or corrupt frame, and
+with ``--quarantine`` moves the bad suffix to a sidecar file instead of
+leaving it to be silently truncated at next open.
 """
 
 from __future__ import annotations
@@ -178,6 +186,10 @@ class Shell:
             return "bye"
         if command in (".save", ".checkpoint"):
             return self._save()
+        if command == ".timeout":
+            return self._timeout(argument)
+        if command == ".verify":
+            return self._verify()
         if command == ".help":
             return __doc__.split("Meta-commands")[1]
         if command == ".tables":
@@ -301,6 +313,33 @@ class Shell:
             return f"tracing is {state}; no trace captured yet"
         return tracer.last_root.render()
 
+    def _timeout(self, argument: str) -> str:
+        resilience = self.stratum.db.resilience
+        if argument:
+            if argument.lower() in ("off", "none"):
+                resilience.statement_timeout = None
+            else:
+                try:
+                    seconds = float(argument)
+                except ValueError:
+                    return "usage: .timeout [SECONDS|off]"
+                if seconds <= 0:
+                    return "usage: .timeout [SECONDS|off]"
+                resilience.statement_timeout = seconds
+        current = resilience.statement_timeout
+        if current is None:
+            return "statement timeout = off"
+        return f"statement timeout = {current:g}s (SQLSTATE 57014 on expiry)"
+
+    def _verify(self) -> str:
+        if not self.durable:
+            return "error: no durable database attached (start with --db PATH)"
+        try:
+            report = self.stratum.verify()
+        except SqlError as exc:
+            return f"error: {exc}"
+        return report.render()
+
     def _save(self) -> str:
         if not self.durable:
             return "error: no durable database attached (start with --db PATH)"
@@ -350,6 +389,37 @@ def _build_shell(load: Optional[str], db_path: Optional[str] = None) -> Shell:
             raise SystemExit(output)
         print(output, file=sys.stderr)
     return shell
+
+
+def run_verify(argv: list[str]) -> int:
+    """``repro verify``: scrub a durable store offline.
+
+    Usage::
+
+        python -m repro verify --db PATH [--quarantine]
+
+    Exits 0 when the store is clean (or corruption was successfully
+    quarantined), 1 otherwise.  Deliberately does *not* open the
+    database: opening runs recovery, which would truncate the evidence
+    this command exists to report.
+    """
+    import argparse
+
+    from repro.sqlengine.resilience import verify_store
+
+    parser = argparse.ArgumentParser(prog="repro verify")
+    parser.add_argument(
+        "--db", metavar="PATH", required=True,
+        help="the durable database directory to scrub",
+    )
+    parser.add_argument(
+        "--quarantine", action="store_true",
+        help="move a corrupt WAL suffix to a sidecar file",
+    )
+    args = parser.parse_args(argv)
+    report = verify_store(args.db, quarantine=args.quarantine)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def run_subcommand(argv: list[str]) -> int:
@@ -420,6 +490,8 @@ def run_subcommand(argv: list[str]) -> int:
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point: subcommand dispatch, or the interactive loop."""
     argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "verify":
+        return run_verify(argv[1:])
     if argv and argv[0] in ("explain", "trace"):
         return run_subcommand(argv)
     import argparse

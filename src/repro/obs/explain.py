@@ -384,6 +384,10 @@ def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
     interval_hits_before = db.obs.value("engine.interval_index_hits")
     interval_pruned_before = db.obs.value("engine.interval_rows_pruned")
     cp_hits_before = db.obs.value("stratum.cp.cache_hits")
+    degradations_before = db.obs.value("resilience.degradations.vectorized")
+    cancellations_before = db.obs.value("resilience.cancellations")
+    budget_stops_before = db.obs.value("resilience.budget_stops")
+    retries_before = db.obs.value("wal.retries")
     started = time.perf_counter()
     try:
         result = thunk()
@@ -416,6 +420,45 @@ def _run_analyzed(db: "Database", thunk) -> tuple[Any, list[str]]:
     cp_hits = db.obs.value("stratum.cp.cache_hits") - cp_hits_before
     if cp_hits:
         lines.append(f"  constant-period cache hits: {cp_hits}")
+    # resilience: the governor's degradations (and any watchdog events
+    # a handler absorbed) must be visible, not silent
+    degradations = (
+        db.obs.value("resilience.degradations.vectorized") - degradations_before
+    )
+    if degradations:
+        lines.append(
+            f"  governor degradations: {degradations}"
+            " (vectorized scan -> row-at-a-time)"
+        )
+    cancellations = (
+        db.obs.value("resilience.cancellations") - cancellations_before
+    )
+    if cancellations:
+        lines.append(f"  watchdog cancellations (handled): {cancellations}")
+    budget_stops = db.obs.value("resilience.budget_stops") - budget_stops_before
+    if budget_stops:
+        lines.append(f"  budget stops (handled): {budget_stops}")
+    retries = db.obs.value("wal.retries") - retries_before
+    if retries:
+        lines.append(f"  wal transient-fault retries: {retries}")
+    resilience = db.resilience
+    if resilience.armed:
+        budgets = []
+        if resilience.statement_timeout is not None:
+            budgets.append(f"timeout={resilience.statement_timeout:g}s")
+        if resilience.max_rows_scanned is not None:
+            budgets.append(f"max_rows_scanned={resilience.max_rows_scanned}")
+        if resilience.max_undo_depth is not None:
+            budgets.append(f"max_undo_depth={resilience.max_undo_depth}")
+        if resilience.max_resident_bytes is not None:
+            budgets.append(
+                f"max_resident_bytes={resilience.max_resident_bytes}"
+            )
+        if budgets:
+            lines.append(
+                "  resilience: armed (" + ", ".join(budgets) + "),"
+                f" {resilience.checks} watchdog checks"
+            )
     lines.append(f"  result rows: {_result_rows(result)}")
     if db.durability is not None:
         state = db.durability.state()

@@ -37,6 +37,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.sqlengine.resilience import retry_durable
 from repro.sqlengine.wal import WalError, encode_rows_columnar
 
 SNAPSHOT_MAGIC = "TAUPSM-SNAPSHOT-1"
@@ -100,19 +101,43 @@ def build_snapshot(manager) -> dict[str, Any]:
 
 def write_checkpoint(manager) -> int:
     """Write a snapshot atomically, then reset the WAL.  Returns the
-    new generation."""
+    new generation.
+
+    Both steps run under bounded-backoff retry (see
+    :func:`repro.sqlengine.resilience.retry_durable`): transient
+    ``OSError`` blips are absorbed, anything else surfaces as a typed
+    :class:`~repro.sqlengine.errors.DurabilityError` carrying the path
+    and operation.  The ``checkpoint.rename`` fault site fires between
+    the tmp-file write and the atomic rename — the crash point that
+    leaves the *old* snapshot authoritative.
+    """
     payload = build_snapshot(manager)
     generation = payload["generation"]
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     header = f"{SNAPSHOT_MAGIC} {zlib.crc32(body):08x}\n".encode("ascii")
     tmp_path = manager.snapshot_path.with_suffix(".json.tmp")
-    with open(tmp_path, "wb") as handle:
-        handle.write(header)
-        handle.write(body)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, manager.snapshot_path)
-    _fsync_dir(manager.dir)
+
+    def _write_tmp() -> None:
+        with open(tmp_path, "wb") as handle:
+            handle.write(header)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    retry_durable(
+        "checkpoint.write", tmp_path, _write_tmp, obs=manager.obs
+    )
+    fault_plan = manager.db.txn.fault_plan
+
+    def _rename() -> None:
+        if fault_plan is not None:
+            fault_plan.hit("checkpoint.rename", "snapshot")
+        os.replace(tmp_path, manager.snapshot_path)
+        _fsync_dir(manager.dir)
+
+    retry_durable(
+        "checkpoint.rename", manager.snapshot_path, _rename, obs=manager.obs
+    )
     manager.reset_wal(generation)
     manager.obs.inc("checkpoint.writes", 1)
     manager.obs.inc("checkpoint.bytes", len(body))

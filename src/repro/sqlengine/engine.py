@@ -17,6 +17,7 @@ from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.errors import ExecutionError
 from repro.sqlengine.executor import Executor, ResultSet
 from repro.sqlengine.parser import parse_script, parse_statement
+from repro.sqlengine.resilience import ResilienceManager
 from repro.sqlengine.txn import TransactionManager
 from repro.sqlengine.values import Date
 
@@ -199,6 +200,9 @@ class Database:
         # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
         self.txn = TransactionManager(self)
         self.catalog.txn = self.txn
+        # resilience: query watchdog + resource governor (DESIGN.md
+        # §3.7); disarmed by default, so hot paths pay one bool check
+        self.resilience = ResilienceManager(self)
 
     # -- observability ---------------------------------------------------
 
@@ -210,6 +214,7 @@ class Database:
         we only want when someone is looking."""
         total = sum(table.bytes_resident() for table in self.catalog.tables())
         self.obs.set_gauge("engine.bytes_resident", total)
+        self.resilience.note_gauge_refresh()
         return total
 
     # -- CURRENT_DATE ----------------------------------------------------
@@ -298,13 +303,39 @@ class Database:
     def close(self, checkpoint: bool = True) -> None:
         """Flush (and by default checkpoint) and detach durability.
 
-        A no-op for purely in-memory databases.
+        Idempotent: the WAL buffer is flushed exactly once; repeated
+        calls (and closes of purely in-memory databases) are no-ops.
         """
         if self.durability is None:
             return
         self.durability.close(checkpoint=checkpoint)
         self.txn.wal = None
         self.durability = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # don't checkpoint on the error path: leave the WAL as the
+        # authoritative record of what committed before the failure
+        self.close(checkpoint=exc_type is None)
+
+    def verify(self, *, quarantine: bool = False):
+        """Scrub the attached durable store (see
+        :func:`repro.sqlengine.resilience.verify_store`).
+
+        The WAL buffer is flushed first when idle, so everything
+        committed so far is on disk and subject to verification.
+        Returns a :class:`~repro.sqlengine.resilience.VerifyReport`.
+        """
+        from repro.sqlengine.resilience import verify_store
+        from repro.sqlengine.wal import WalError
+
+        if self.durability is None:
+            raise WalError("verify: durability is not attached")
+        if not self.txn.explicit and not self.txn.marks:
+            self.durability.commit_buffered()
+        return verify_store(self.durability.dir, quarantine=quarantine)
 
     # -- execution -------------------------------------------------------
 
@@ -324,6 +355,8 @@ class Database:
 
             return explain_engine_statement(self, stmt.statement, stmt.analyze)
         self.table_function_cache.clear()
+        resilience = self.resilience
+        resilience.begin_statement()  # arms the watchdog clock at depth 0
         token = self.txn.mark()  # implicit statement-level atomicity
         try:
             result = self._executor.execute(stmt)
@@ -331,6 +364,7 @@ class Database:
             self.txn.rollback_to(token)
             raise
         finally:
+            resilience.end_statement()
             self.table_function_cache.clear()
         self.txn.release(token)
         return result

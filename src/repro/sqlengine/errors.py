@@ -58,9 +58,74 @@ class SignalError(ExecutionError):
         self.message = message
 
 
+class QueryCancelled(SignalError):
+    """Raised by the query watchdog when a statement's deadline expires
+    or an explicit cancellation is requested.
+
+    Carries SQLSTATE ``57014`` (operator intervention / query canceled),
+    so PSM ``DECLARE ... HANDLER FOR SQLSTATE '57014'`` catches it
+    exactly like a SIGNAL-raised condition; an unhandled cancellation
+    unwinds through the statement marks to full routine atomicity.
+    """
+
+    SQLSTATE = "57014"
+
+    def __init__(self, message: "str | None" = None) -> None:
+        super().__init__(
+            self.SQLSTATE,
+            message if message is not None else "query cancelled (57014)",
+        )
+
+
+class ResourceBudgetExceeded(SignalError):
+    """Raised by the resource governor when a hard per-statement budget
+    (row-scan or undo-depth) is breached and no degradation can help.
+
+    Carries SQLSTATE ``53000`` (insufficient resources); handled like
+    any SIGNAL-raised state.
+    """
+
+    SQLSTATE = "53000"
+
+    def __init__(self, message: str, budget: str, limit: int, used: int) -> None:
+        super().__init__(self.SQLSTATE, message)
+        self.budget = budget
+        self.limit = limit
+        self.used = used
+
+
 class FaultInjected(ExecutionError):
     """Raised by an armed :class:`~repro.sqlengine.txn.FaultPlan` — the
     fault-injection harness's stand-in for a mid-statement crash."""
+
+
+class DurabilityError(ExecutionError):
+    """A durable-storage operation (WAL write/fsync, checkpoint
+    tmp+rename) failed with an :class:`OSError` that bounded retry could
+    not absorb.
+
+    Carries the failing ``operation`` tag, the ``path`` involved, and
+    how many ``attempts`` were made, so callers and PSM handlers can
+    distinguish durability faults from engine bugs.  Defined here (not
+    in :mod:`repro.sqlengine.wal`) so the resilience layer's retry
+    helper can raise it without an import cycle.
+    """
+
+    def __init__(
+        self,
+        operation: str,
+        path: str,
+        attempts: int = 1,
+        cause: "BaseException | None" = None,
+    ) -> None:
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"durability failure in {operation} on {path}"
+            f" after {attempts} attempt(s){detail}"
+        )
+        self.operation = operation
+        self.path = path
+        self.attempts = attempts
 
 
 class RoutineError(ExecutionError):

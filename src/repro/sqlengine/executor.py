@@ -175,6 +175,10 @@ class Executor:
             raise ExecutionError(
                 "temporal statement modifiers require the temporal stratum"
             )
+        resilience = self.db.resilience
+        if resilience.armed:
+            # watchdog/governor checkpoint: every engine statement
+            resilience.check()
         self.db.stats.statements += 1
         if isinstance(stmt, ast.Select):
             return self.execute_select(stmt, env)
@@ -602,6 +606,10 @@ class Executor:
         it can never change results, only skip rows that cannot match.
         """
         table = self._resolve_table(source.name, env)
+        resilience = self.db.resilience
+        if resilience.armed:
+            # watchdog/governor checkpoint: every interpreted table bind
+            resilience.check()
         alias = source.binding
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
         rows = table.rows
@@ -899,6 +907,9 @@ class Executor:
                 result = self.execute_select(view, Env(frame=env.frame))
                 return source.binding, result.columns, result.rows
             table = self._resolve_table(source.name, env)
+            resilience = self.db.resilience
+            if resilience.armed:
+                resilience.check()
             self.db.obs.inc("engine.rows_scanned", len(table.rows))
             return source.binding, table.column_names, table.rows
         if isinstance(source, ast.SubqueryRef):

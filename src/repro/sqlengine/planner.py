@@ -146,6 +146,10 @@ class _Scan:
         """
         db = executor.db
         obs = db.obs
+        resilience = db.resilience
+        if resilience.armed:
+            # watchdog/governor checkpoint: every scan batch
+            resilience.check()
         if self.conjuncts:
             probe = executor._find_index_probe(
                 table, self.alias, self.conjuncts, env, self.from_items
@@ -166,6 +170,11 @@ class _Scan:
             if batch is not None and not (
                 batch.consumes_all and db.vectorized_filtering_enabled
             ):
+                batch = None
+            if batch is not None and not resilience.allow_columnar(table):
+                # governor degradation: under resident-bytes pressure,
+                # stream row-at-a-time instead of building a columnar
+                # image (counted; visible in EXPLAIN ANALYZE)
                 batch = None
             interval = executor._find_interval_probe(
                 table, self.alias, self.conjuncts, env, self.from_items

@@ -308,6 +308,14 @@ class RoutineInterpreter:
         txn = self.db.txn
         token = txn.mark()
         try:
+            # watchdog checkpoint at every PSM statement boundary —
+            # inside this statement's guard, so a cancellation takes the
+            # same rollback + handler-dispatch path as a SIGNAL raised
+            # by the statement itself (SQLSTATE '57014' handlers fire;
+            # unhandled, it cascades to full routine atomicity)
+            resilience = self.db.resilience
+            if resilience.armed:
+                resilience.check()
             self._dispatch(stmt, frame)
         except SqlError as exc:
             # revert this statement's partial effects, then look for a

@@ -56,9 +56,18 @@ class FaultPlan:
 
     Primitives consult the plan *before* mutating, so a fired fault
     leaves that primitive un-applied.
+
+    ``exc_factory`` swaps the raised exception: a callable
+    ``(site, target, hits) -> BaseException`` lets the resilience
+    chaos harness inject ``OSError``-style *transient* faults at the
+    durability sites (absorbed by bounded retry) instead of the
+    default :class:`FaultInjected` crash simulation.
     """
 
-    __slots__ = ("site", "target", "at", "every", "times", "hits", "fires", "fired")
+    __slots__ = (
+        "site", "target", "at", "every", "times", "hits", "fires", "fired",
+        "exc_factory",
+    )
 
     def __init__(
         self,
@@ -67,12 +76,14 @@ class FaultPlan:
         at: int = 1,
         every: Optional[int] = None,
         times: Optional[int] = 1,
+        exc_factory: Optional[Callable[[str, str, int], BaseException]] = None,
     ) -> None:
         self.site = site
         self.target = target.lower() if target is not None else None
         self.at = at
         self.every = every
         self.times = times
+        self.exc_factory = exc_factory
         self.hits = 0
         self.fires = 0
         self.fired = False
@@ -97,6 +108,8 @@ class FaultPlan:
         if due:
             self.fires += 1
             self.fired = True
+            if self.exc_factory is not None:
+                raise self.exc_factory(site, target, self.hits)
             raise FaultInjected(
                 f"injected fault at {site} on {target!r} (match #{self.hits})"
             )

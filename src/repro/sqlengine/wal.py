@@ -41,7 +41,9 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.sqlengine.errors import DurabilityError  # noqa: F401  (re-export)
 from repro.sqlengine.errors import ExecutionError
+from repro.sqlengine.resilience import retry_durable
 from repro.sqlengine.values import Date, Null
 
 WAL_FILE = "wal.log"
@@ -283,15 +285,36 @@ class DurabilityManager:
         )
         self.buffer = []
         data = b"".join(frame(encode_record(r)) for r in records)
-        self._file.write(data)
-        self._file.flush()
         fault_plan = self.db.txn.fault_plan
-        if fault_plan is not None:
-            # fires between write and fsync — the "crash before the log
-            # reached disk" point the crash-matrix tests kill at
-            fault_plan.hit("wal.fsync", "wal")
-        if self.sync:
-            os.fsync(self._file.fileno())
+
+        # both steps run under bounded-backoff retry: transient OSErrors
+        # (EINTR/ENOSPC-style, injectable via FaultPlan exc_factory) are
+        # absorbed and counted under wal.retries; exhaustion or a
+        # non-transient error raises a typed DurabilityError.  Injected
+        # FaultInjected crashes pass through untouched.
+        start = self._file.tell()
+
+        def _write() -> None:
+            if fault_plan is not None:
+                fault_plan.hit("wal.write", "wal")
+            if self._file.tell() != start:
+                # a failed earlier attempt left partial bytes behind;
+                # cut back so the retry cannot duplicate frames (the
+                # handle is O_APPEND, so writes land at the new end)
+                self._file.truncate(start)
+            self._file.write(data)
+            self._file.flush()
+
+        def _sync() -> None:
+            if fault_plan is not None:
+                # fires between write and fsync — the "crash before the
+                # log reached disk" point the crash-matrix tests kill at
+                fault_plan.hit("wal.fsync", "wal")
+            if self.sync:
+                os.fsync(self._file.fileno())
+
+        retry_durable("wal.write", self.wal_path, _write, obs=self.obs)
+        retry_durable("wal.fsync", self.wal_path, _sync, obs=self.obs)
         self.obs.inc("wal.records_written", len(records))
         self.obs.inc("wal.bytes", len(data))
         self.obs.inc("wal.fsyncs", 1)
@@ -454,6 +477,7 @@ class DurabilityManager:
             "bytes_written": self.obs.value("wal.bytes"),
             "fsyncs": self.obs.value("wal.fsyncs"),
             "commits": self.obs.value("wal.commits"),
+            "retries": self.obs.value("wal.retries"),
             "checkpoints": self.obs.value("checkpoint.writes"),
             "records_replayed": self.obs.value("recovery.records_replayed"),
         }

@@ -101,7 +101,12 @@ def compute_constant_periods(
     sequenced statement are rescanned.
     """
     points: set[int] = set()
+    resilience = db.resilience
     for table, begin_column, end_column in _cp_sources(db, table_names, registry):
+        # watchdog: one cancellation point per table pass of the
+        # precomputation step
+        if resilience.armed:
+            resilience.check()
         points |= table.change_points(
             table.column_index(begin_column), table.column_index(end_column)
         )

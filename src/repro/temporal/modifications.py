@@ -105,6 +105,11 @@ def _matching_rows(
     colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
     begin_index = table.column_index(info.begin_column)
     end_index = table.column_index(info.end_column)
+    # watchdog: the sequenced-modification row pass walks the whole
+    # table outside the executor's scan machinery
+    resilience = db.resilience
+    if resilience.armed:
+        resilience.check()
     env = Env()
     matches = []
     for row in table.rows:

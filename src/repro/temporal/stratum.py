@@ -185,7 +185,19 @@ class TemporalStratum:
         return self.db.checkpoint()
 
     def close(self, checkpoint: bool = True) -> None:
+        """Idempotent close of the underlying database (see
+        :meth:`repro.sqlengine.engine.Database.close`)."""
         self.db.close(checkpoint=checkpoint)
+
+    def __enter__(self) -> "TemporalStratum":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.db.close(checkpoint=exc_type is None)
+
+    def verify(self, *, quarantine: bool = False):
+        """Scrub the attached durable store; see :meth:`Database.verify`."""
+        return self.db.verify(quarantine=quarantine)
 
     @property
     def clock(self) -> Date:
@@ -283,6 +295,11 @@ class TemporalStratum:
         # close+reinsert), and a failure partway through must not leave a
         # partially-applied temporal operation behind
         txn = self.db.txn
+        resilience = self.db.resilience
+        # the temporal statement is the top-level unit the watchdog
+        # deadline covers: the per-period engine statements it expands
+        # into re-enter Database.execute_ast at depth > 0
+        resilience.begin_statement()
         token = txn.mark()
         tracer = self.db.tracer
         span_cm = (
@@ -296,6 +313,8 @@ class TemporalStratum:
         except BaseException:
             txn.rollback_to(token)
             raise
+        finally:
+            resilience.end_statement()
         txn.release(token)
         return result
 
@@ -818,10 +837,16 @@ class TemporalStratum:
         per_period.args = per_period.args + [placeholder]
         tracer = self.db.tracer
         stats = self.db.stats
+        resilience = self.db.resilience
         calls_before = stats.total_routine_calls
         started = time.perf_counter()
         with tracer.span("stratum.max.loop", slices=slices):
             for row in list(cp.rows):
+                # watchdog: a MAX evaluation is thousands of routine
+                # calls (q2 = 2703 on DS1); every constant period is a
+                # cancellation point
+                if resilience.armed:
+                    resilience.check()
                 begin, end = row[0], row[1]
                 placeholder.value = begin
                 if tracer.enabled:

@@ -235,3 +235,137 @@ def test_signal_renders_back_to_sql():
     assert "MESSAGE_TEXT = 'it''s bad'" in rendered
     # and the rendering re-parses
     parse_statement(rendered)
+
+
+# ---------------------------------------------------------------------------
+# watchdog cancellations dispatch exactly like SIGNAL-raised states
+# ---------------------------------------------------------------------------
+#
+# The watchdog check runs inside each routine statement's undo-log
+# guard, so QueryCancelled (SQLSTATE 57014, a SignalError subclass)
+# must hit CONTINUE/EXIT handlers exactly as a statement-raised SIGNAL
+# would.  ``cancel_at_check`` indices below were chosen against the
+# deterministic check schedule (one check at the top-level dispatch,
+# one per PSM statement boundary, one per engine statement dispatch)
+# to land the cancellation on a specific body statement.
+
+
+def test_continue_handler_fires_for_watchdog_cancellation(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLSTATE '57014'
+            INSERT INTO log VALUES ('cancelled');
+          INSERT INTO t VALUES (1);
+          INSERT INTO t VALUES (2);
+          INSERT INTO t VALUES (3);
+        END
+        """
+    )
+    # check #6 is the second INSERT's statement boundary: it is undone
+    # (never ran), the handler logs, execution resumes at the third
+    db_h.resilience.cancel_at_check = 6
+    db_h.execute("CALL p()")
+    assert values(db_h) == [1, 3]
+    assert values(db_h, "log") == ["cancelled"]
+
+
+def test_exit_handler_fires_for_watchdog_cancellation(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          INSERT INTO t VALUES (1);
+          BEGIN
+            DECLARE EXIT HANDLER FOR SQLSTATE '57014'
+              INSERT INTO log VALUES ('exit');
+            INSERT INTO t VALUES (2);
+            INSERT INTO t VALUES (3);
+            INSERT INTO t VALUES (4);
+          END;
+          INSERT INTO t VALUES (5);
+        END
+        """
+    )
+    # check #9 cancels the third INSERT: the EXIT handler logs and
+    # unwinds its compound only; the outer compound resumes
+    db_h.resilience.cancel_at_check = 9
+    db_h.execute("CALL p()")
+    assert values(db_h) == [1, 2, 5]
+    assert values(db_h, "log") == ["exit"]
+
+
+def test_cancellation_outside_handler_scope_cascades(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          INSERT INTO t VALUES (1);
+          BEGIN
+            DECLARE EXIT HANDLER FOR SQLSTATE '57014'
+              INSERT INTO log VALUES ('exit');
+            INSERT INTO t VALUES (2);
+          END;
+          INSERT INTO t VALUES (5);
+        END
+        """
+    )
+    before = snapshot_db(db_h)
+    # a cancellation after the inner compound closed finds no handler:
+    # full routine atomicity, exactly like an unhandled SIGNAL
+    db_h.resilience.cancel_at_check = 9
+    from repro.sqlengine.errors import QueryCancelled
+
+    with pytest.raises(QueryCancelled):
+        db_h.execute("CALL p()")
+    assert_snapshot_equal(db_h, before)
+
+
+def test_deadline_cancellation_cascades_through_handlers(db_h: Database):
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLSTATE '57014'
+            INSERT INTO log VALUES ('cancelled');
+          INSERT INTO t VALUES (1);
+        END
+        """
+    )
+    from repro.sqlengine.errors import QueryCancelled
+
+    before = snapshot_db(db_h)
+    # an expired deadline re-fires at every check, so even a matching
+    # CONTINUE handler cannot absorb it: its own action is cancelled
+    # too and the routine unwinds without net effect
+    db_h.resilience.statement_timeout = 0.0
+    with pytest.raises(QueryCancelled):
+        db_h.execute("CALL p()")
+    db_h.resilience.statement_timeout = None
+    assert_snapshot_equal(db_h, before)
+
+
+def test_signalled_57014_hits_same_handler(db_h: Database):
+    # parity check: an explicit SIGNAL of the cancellation state takes
+    # the identical handler path the watchdog uses
+    db_h.execute(
+        """
+        CREATE PROCEDURE p ()
+        LANGUAGE SQL
+        BEGIN
+          DECLARE CONTINUE HANDLER FOR SQLSTATE '57014'
+            INSERT INTO log VALUES ('cancelled');
+          INSERT INTO t VALUES (1);
+          SIGNAL SQLSTATE '57014' SET MESSAGE_TEXT = 'stop';
+          INSERT INTO t VALUES (3);
+        END
+        """
+    )
+    db_h.execute("CALL p()")
+    assert values(db_h) == [1, 3]
+    assert values(db_h, "log") == ["cancelled"]

@@ -1,0 +1,174 @@
+"""The durable-state scrubber: ``verify_store`` / ``repro verify``.
+
+An offline walk of the WAL CRC chain and snapshot header that reports
+the first torn frame instead of silently truncating it at the next
+open, and can quarantine the bad suffix to a sidecar for forensics.
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+
+import pytest
+
+from repro.cli import run_verify
+from repro.sqlengine import Database
+from repro.sqlengine.resilience import verify_store
+from repro.sqlengine.wal import SNAPSHOT_FILE, WAL_FILE
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A durable store with a snapshot and a committed WAL tail."""
+    path = tmp_path / "db"
+    db = Database.open(path)
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.checkpoint()
+    db.execute("INSERT INTO t VALUES (2)")
+    db.execute("INSERT INTO t VALUES (3)")
+    db.close(checkpoint=False)  # leave the WAL tail in place
+    return path
+
+
+def wal_path(store):
+    return store / WAL_FILE
+
+
+def test_clean_store_verifies_ok(store):
+    report = verify_store(store)
+    assert report.ok
+    assert report.snapshot_present and report.snapshot_ok
+    assert report.wal_present
+    assert report.committed_transactions == 2
+    assert report.corrupt_offset is None
+    assert report.render().endswith("result: OK")
+
+
+def test_online_verify_through_database(tmp_path):
+    db = Database.open(tmp_path / "db")
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    report = db.verify()
+    assert report.ok
+    assert report.committed_transactions >= 1
+    db.close()
+
+
+def test_truncated_frame_reports_offset(store):
+    data = wal_path(store).read_bytes()
+    wal_path(store).write_bytes(data[:-3])  # tear the final frame
+    report = verify_store(store)
+    assert not report.ok
+    assert report.corrupt_offset is not None
+    assert report.corrupt_offset < len(data) - 3
+    text = report.render()
+    assert "torn or corrupt frame" in text
+    assert text.endswith("result: CORRUPT")
+
+
+def test_flipped_byte_reports_first_bad_frame(store):
+    data = bytearray(wal_path(store).read_bytes())
+    # corrupt one payload byte in the middle of the file: the CRC of
+    # that frame no longer matches, everything before it stays intact
+    target = len(data) // 2
+    data[target] ^= 0xFF
+    wal_path(store).write_bytes(bytes(data))
+    report = verify_store(store)
+    assert not report.ok
+    assert report.corrupt_offset is not None
+    assert report.corrupt_offset <= target
+    assert report.frames >= 1  # the prefix before the flip still reads
+
+
+def test_quarantine_moves_suffix_and_cleans_store(store):
+    data = wal_path(store).read_bytes()
+    torn = data[:-3]
+    wal_path(store).write_bytes(torn)
+    report = verify_store(store, quarantine=True)
+    assert report.ok  # cleaned counts as clean
+    assert report.quarantined_to is not None
+    sidecar_bytes = (store / report.quarantined_to.rsplit("/", 1)[-1]).read_bytes()
+    assert sidecar_bytes == torn[report.corrupt_offset :]
+    assert wal_path(store).read_bytes() == torn[: report.corrupt_offset]
+    # the truncated store verifies clean and reopens with the
+    # committed prefix
+    assert verify_store(store).ok
+    db = Database.open(store)
+    values = sorted(r[0] for r in db.table("t").rows)
+    assert values[0] == 1 and set(values) <= {1, 2, 3}
+    db.close()
+
+
+def test_corrupt_snapshot_is_reported(store):
+    snapshot = store / SNAPSHOT_FILE
+    content = snapshot.read_bytes()
+    snapshot.write_bytes(content[:-10])
+    report = verify_store(store)
+    assert not report.ok
+    assert not report.snapshot_ok
+    assert "result: CORRUPT" in report.render()
+
+
+def test_stale_generation_wal_noted_not_failed(store, tmp_path):
+    # a crash between checkpoint rename and WAL reset leaves the old
+    # log beside the new snapshot; recovery ignores it, verify notes it
+    old_wal = tmp_path / "old.wal"
+    shutil.copy(wal_path(store), old_wal)
+    db = Database.open(store)
+    db.execute("INSERT INTO t VALUES (4)")
+    db.checkpoint()
+    db.close(checkpoint=False)
+    shutil.copy(old_wal, wal_path(store))
+    report = verify_store(store)
+    assert report.stale_wal
+    assert report.ok
+    assert "stale log" in report.render()
+
+
+def test_mismatched_ahead_generation_fails(store):
+    # a WAL from a *later* generation than the snapshot cannot belong
+    # to it: flag loudly instead of replaying foreign history
+    data = wal_path(store).read_bytes()
+    (length,) = struct.unpack_from("<I", data, 0)
+    import json
+    import zlib
+
+    header = json.dumps(["walhdr", 999]).encode()
+    frame = struct.pack("<II", len(header), zlib.crc32(header)) + header
+    wal_path(store).write_bytes(frame + data[8 + length :])
+    report = verify_store(store)
+    assert not report.ok
+    assert any("ahead of the snapshot" in p for p in report.problems)
+
+
+def test_empty_wal_with_garbage_has_no_intact_frames(store):
+    wal_path(store).write_bytes(b"\x00garbage\xff" * 4)
+    report = verify_store(store)
+    assert not report.ok
+    assert report.frames == 0
+
+
+def test_fresh_directory_verifies_ok(tmp_path):
+    report = verify_store(tmp_path / "nothing-here")
+    assert report.ok
+    assert not report.snapshot_present and not report.wal_present
+
+
+def test_cli_exit_codes(store, capsys):
+    assert run_verify(["--db", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "result: OK" in out
+
+    data = wal_path(store).read_bytes()
+    wal_path(store).write_bytes(data[:-3])
+    assert run_verify(["--db", str(store)]) == 1
+    assert "result: CORRUPT" in capsys.readouterr().out
+
+    # quarantine flips it back to success and leaves the sidecar behind
+    assert run_verify(["--db", str(store), "--quarantine"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert any(p.name.startswith(f"{WAL_FILE}.quarantine-")
+               for p in store.iterdir())
