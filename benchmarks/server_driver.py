@@ -1,0 +1,52 @@
+"""Client-side load driver for the server benchmark.
+
+Runs as a SEPARATE process so the clients' frame encoding/decoding and
+socket work happen under their own interpreter (and GIL) — exactly like
+real remote clients — and can overlap with the server's worker thread.
+
+Each client runs a closed loop: issue the query, await the response,
+then wait ``RTT_MS`` milliseconds before the next request — the
+standard think-time model, emulating the client-side round-trip latency
+a LAN/WAN deployment would see (loopback's is only a few microseconds,
+which would hide the very idle time pipelining exists to fill).
+
+Usage: python server_driver.py HOST PORT N_CLIENTS READS_PER_CLIENT RTT_MS SQL
+
+Prints one JSON line: {"reads": ..., "seconds": ...}.
+"""
+
+import asyncio
+import json
+import sys
+import time
+
+from repro.server.client import ReproClient
+
+
+async def main() -> None:
+    host = sys.argv[1]
+    port = int(sys.argv[2])
+    n_clients = int(sys.argv[3])
+    reads = int(sys.argv[4])
+    rtt = float(sys.argv[5]) / 1000.0
+    query = sys.argv[6]
+    clients = [await ReproClient.connect(host, port) for _ in range(n_clients)]
+    for client in clients:  # warm the server's plan cache untimed
+        await client.execute(query)
+
+    async def drive(client):
+        for _ in range(reads):
+            await client.execute(query)
+            if rtt:
+                await asyncio.sleep(rtt)
+
+    start = time.perf_counter()
+    await asyncio.gather(*[drive(c) for c in clients])
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        await client.close()
+    print(json.dumps({"reads": n_clients * reads, "seconds": elapsed}))
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

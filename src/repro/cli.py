@@ -45,6 +45,10 @@ store *offline* (no recovery, no mutation): it walks the WAL CRC chain
 and the snapshot header, reports the first torn or corrupt frame, and
 with ``--quarantine`` moves the bad suffix to a sidecar file instead of
 leaving it to be silently truncated at next open.
+
+``python -m repro serve [--db PATH] [--port P]`` starts the multi-client
+asyncio server: each connection gets its own snapshot-isolated session
+(see :mod:`repro.server`).
 """
 
 from __future__ import annotations
@@ -487,11 +491,68 @@ def run_subcommand(argv: list[str]) -> int:
     return 0
 
 
+def run_serve(argv: list[str]) -> int:
+    """``repro serve``: the multi-client asyncio server.
+
+    Usage::
+
+        python -m repro serve [--db PATH] [--host H] [--port P]
+                              [--load DS SIZE]
+
+    Each connected client gets its own session with snapshot-isolated
+    MVCC semantics; the wire protocol is length-prefixed JSON (see
+    :mod:`repro.server`).  SIGINT/SIGTERM trigger a graceful drain:
+    in-flight statements finish, sessions roll back, and a durable
+    store is checkpointed before exit.
+    """
+    import argparse
+    import asyncio
+    import signal
+
+    from repro.server import ReproServer
+
+    parser = argparse.ArgumentParser(prog="repro serve")
+    parser.add_argument(
+        "--db", metavar="PATH",
+        help="serve a durable database directory (recovers on open)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878)
+    parser.add_argument(
+        "--load", nargs=2, metavar=("DS", "SIZE"),
+        help="load a τPSM dataset first (e.g. --load DS1 SMALL)",
+    )
+    args = parser.parse_args(argv)
+    shell = _build_shell(
+        " ".join(args.load) if args.load else None, db_path=args.db
+    )
+    stratum = shell.stratum
+
+    async def run() -> None:
+        server = ReproServer(stratum, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(f"repro server listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await server.serve_until(stop)
+
+    try:
+        asyncio.run(run())
+    finally:
+        stratum.db.close()
+    print("repro server stopped", flush=True)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point: subcommand dispatch, or the interactive loop."""
     argv = argv if argv is not None else sys.argv[1:]
     if argv and argv[0] == "verify":
         return run_verify(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     if argv and argv[0] in ("explain", "trace"):
         return run_subcommand(argv)
     import argparse

@@ -1,0 +1,103 @@
+"""Asyncio client library for the repro wire protocol.
+
+::
+
+    client = await ReproClient.connect("127.0.0.1", 7878)
+    await client.execute("BEGIN")
+    result = await client.execute("VALIDTIME SELECT name FROM author")
+    print(result.rows, client.last_snapshot)
+    await client.execute("COMMIT")
+    await client.close()
+
+Engine errors arrive as :class:`ServerError` with the originating
+``sqlstate`` (``'40001'`` for a serialization failure the caller
+should retry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.server.protocol import (
+    ClientResult,
+    FrameError,
+    decode_result,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["ClientResult", "ReproClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """An error the server reported for one request."""
+
+    def __init__(self, message: str, sqlstate: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.sqlstate = sqlstate
+
+
+class ReproClient:
+    """One connection = one server-side session (own MVCC snapshot)."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        # the csn the most recent statement read through
+        self.last_snapshot: Optional[int] = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ReproClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _roundtrip(self, message: dict) -> Any:
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise FrameError("server closed the connection")
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                response.get("sqlstate"),
+            )
+        if "snapshot" in response:
+            self.last_snapshot = response["snapshot"]
+        return decode_result(response["result"]) if "result" in response else None
+
+    async def execute(self, sql: str) -> Any:
+        """Run one statement; returns a :class:`ClientResult`, a row
+        count, a list (CALL result sets), text, or ``None``."""
+        return await self._roundtrip({"op": "execute", "sql": sql})
+
+    async def set_timeout(self, seconds: Optional[float]) -> None:
+        """Set (or with ``None`` clear) this session's statement
+        deadline; other sessions are unaffected."""
+        await self._roundtrip({"op": "set", "timeout": seconds})
+
+    async def set_strategy(self, strategy: str) -> None:
+        """Set this session's sequenced slicing strategy."""
+        await self._roundtrip({"op": "set", "strategy": strategy})
+
+    async def ping(self) -> None:
+        await self._roundtrip({"op": "ping"})
+
+    async def close(self) -> None:
+        """Polite shutdown: quit, then close the transport."""
+        try:
+            await self._roundtrip({"op": "quit"})
+        except (ConnectionError, FrameError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ReproClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -71,9 +71,17 @@ class Catalog:
         if txn.logging:
             txn.log.append((entry_tag, self, key, old, self.schema_version))
 
+    def _claim_schema(self) -> None:
+        """Claim the schema for writing: DDL is not versioned (it becomes
+        globally visible on apply), but racing sessions get a 40001."""
+        txn = self.txn
+        if txn is not None and txn.mvcc.multi:
+            txn.mvcc.claim_schema(txn)
+
     def note_schema_change(self) -> None:
         """Invalidate compiled plans after an out-of-band schema change
         (e.g. the stratum appending timestamp columns for ADD VALIDTIME)."""
+        self._claim_schema()
         txn = self.txn
         if txn is not None and txn.logging:
             txn.log.append(("cat_schema", self, self.schema_version))
@@ -85,6 +93,8 @@ class Catalog:
         key = table.name.lower()
         if not replace and (key in self._tables or key in self._views):
             raise CatalogError(f"table or view {table.name} already exists")
+        if not table.temporary:
+            self._claim_schema()
         self._guard("catalog.add_table", table.name, "cat_table", key,
                     self._tables.get(key))
         txn = self.txn
@@ -109,6 +119,8 @@ class Catalog:
         table = self._tables.get(key)
         if table is None:
             raise CatalogError(f"no such table: {name}")
+        if not table.temporary:
+            self._claim_schema()
         self._guard("catalog.drop_table", name, "cat_table", key, table)
         txn = self.txn
         if txn is not None and txn.wal is not None and not table.temporary:
@@ -126,6 +138,7 @@ class Catalog:
         key = name.lower()
         if not replace and (key in self._views or key in self._tables):
             raise CatalogError(f"table or view {name} already exists")
+        self._claim_schema()
         self._guard("catalog.add_view", name, "cat_view", key, self._views.get(key))
         txn = self.txn
         if txn is not None and txn.wal is not None:
@@ -144,6 +157,7 @@ class Catalog:
         select = self._views.get(key)
         if select is None:
             raise CatalogError(f"no such view: {name}")
+        self._claim_schema()
         self._guard("catalog.drop_view", name, "cat_view", key, select)
         txn = self.txn
         if txn is not None and txn.wal is not None:
@@ -158,12 +172,19 @@ class Catalog:
         if not replace and key in self._routines:
             raise CatalogError(f"routine {routine.name} already exists")
         existing = self._routines.get(key)
+        # re-installing an identical routine (a cached temporal
+        # transform re-running) is not a schema change and must not
+        # write-claim the schema — read-only sequenced queries would
+        # otherwise conflict with each other
+        changed = existing is None or existing.definition is not routine.definition
+        if changed:
+            self._claim_schema()
         self._guard("catalog.add_routine", routine.name, "cat_routine", key, existing)
         txn = self.txn
         if txn is not None and txn.wal is not None:
             txn.wal.record_routine(routine.definition.to_sql())
         self._routines[key] = routine
-        if existing is None or existing.definition is not routine.definition:
+        if changed:
             self.schema_version += 1
 
     def get_routine(self, name: str) -> Routine:
@@ -180,6 +201,7 @@ class Catalog:
         routine = self._routines.get(key)
         if routine is None:
             raise CatalogError(f"no such routine: {name}")
+        self._claim_schema()
         self._guard("catalog.drop_routine", name, "cat_routine", key, routine)
         txn = self.txn
         if txn is not None and txn.wal is not None:

@@ -16,6 +16,7 @@ from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.errors import ExecutionError
 from repro.sqlengine.executor import Executor, ResultSet
+from repro.sqlengine.mvcc import MvccManager
 from repro.sqlengine.parser import parse_script, parse_statement
 from repro.sqlengine.resilience import ResilienceManager
 from repro.sqlengine.txn import TransactionManager
@@ -196,13 +197,96 @@ class Database:
         # `vectorized_filtering_enabled` is the ablation switch — off,
         # every scan runs the row-at-a-time compiled predicate.
         self.vectorized_filtering_enabled = True
+        # MVCC: snapshot pins, write claims, version-chain GC (DESIGN.md
+        # §3.8); fully dormant — one bool per mutation — until a second
+        # session registers.  Must exist before any TransactionManager.
+        self.mvcc = MvccManager(self)
         # undo-log transaction manager: statement guards, explicit
-        # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection
+        # BEGIN/COMMIT/ROLLBACK, savepoints, fault injection.  `txn` is
+        # the *active* session's manager; `root_txn` is the built-in
+        # session direct API callers use.  Objects whose `txn` pointer
+        # must follow session switches (the catalog, and the temporal
+        # registries once a stratum binds) register in `txn_followers`.
         self.txn = TransactionManager(self)
+        self.root_txn = self.txn
         self.catalog.txn = self.txn
+        self.txn_followers: list[Any] = [self.catalog]
+        self._session_txns: list[TransactionManager] = []
         # resilience: query watchdog + resource governor (DESIGN.md
         # §3.7); disarmed by default, so hot paths pay one bool check
         self.resilience = ResilienceManager(self)
+
+    # -- sessions (MVCC) -------------------------------------------------
+
+    def create_session(self, name: Optional[str] = None) -> TransactionManager:
+        """Register a new session: its own :class:`TransactionManager`
+        with its own snapshot, write set, and redo buffer.
+
+        Only allowed while no write claims are in flight (the committed
+        pre-image of an already-claimed table cannot be captured
+        retroactively); the server retries registration until the store
+        is quiescent.  Statement execution across sessions must be
+        serialized by the caller — :meth:`activate_txn` switches the
+        whole engine's transaction pointer.
+        """
+        if not self.mvcc.multi and (self.txn.explicit or self.txn.marks):
+            raise ExecutionError(
+                "cannot create a session while a transaction is open"
+            )
+        txn = TransactionManager(
+            self, name=name or f"session-{len(self._session_txns) + 1}"
+        )
+        txn.wal = self.root_txn.wal
+        # the undo log is per-session, but rollback cache eviction is
+        # global: share the hook list so a stratum's transform purge
+        # runs no matter which session rolled back
+        txn.rollback_hooks = self.root_txn.rollback_hooks
+        self.mvcc.register_session()
+        self._session_txns.append(txn)
+        return txn
+
+    def close_session(self, txn: TransactionManager) -> None:
+        """Roll back anything the session left open and unregister it."""
+        if txn is self.root_txn:
+            raise ExecutionError("the root session cannot be closed")
+        if txn not in self._session_txns:
+            return  # already closed
+        previous = self.txn
+        self.activate_txn(txn)
+        try:
+            if txn.explicit:
+                txn.rollback()  # releases claims and the snapshot pin
+            else:
+                if txn.write_set:
+                    self.mvcc.release_writes(txn, committed=False)
+                self.mvcc.unpin(txn)
+        finally:
+            self._session_txns.remove(txn)
+            self.mvcc.unregister_session()
+            self.activate_txn(
+                previous if previous is not txn else self.root_txn
+            )
+
+    def activate_txn(self, txn: TransactionManager) -> None:
+        """Make ``txn`` the engine's active session: every component
+        that consults a ``txn`` pointer (catalog, registries, tables)
+        follows, so the undo log, WAL buffer, claims, and snapshot all
+        belong to the session that is executing."""
+        if self.txn is txn:
+            return
+        self.txn = txn
+        for follower in self.txn_followers:
+            follower.txn = txn
+        for table in self.catalog._tables.values():
+            table.txn = txn
+
+    def read_table(self, name: str):
+        """The version of a catalog table visible to the active
+        session's snapshot (the live table while single-session)."""
+        table = self.catalog.get_table(name)
+        if self.mvcc.multi:
+            return self.mvcc.read_view(table, self.txn)
+        return table
 
     # -- observability ---------------------------------------------------
 
@@ -356,17 +440,26 @@ class Database:
             return explain_engine_statement(self, stmt.statement, stmt.analyze)
         self.table_function_cache.clear()
         resilience = self.resilience
+        txn = self.txn
+        # pin the snapshot this statement reads through; statements the
+        # stratum or an explicit transaction re-enter with (snapshot
+        # already pinned) inherit it, giving repeatable reads
+        pinned = txn.snapshot is None
+        if pinned:
+            self.mvcc.pin(txn)
         resilience.begin_statement()  # arms the watchdog clock at depth 0
-        token = self.txn.mark()  # implicit statement-level atomicity
+        token = txn.mark()  # implicit statement-level atomicity
         try:
             result = self._executor.execute(stmt)
         except BaseException:
-            self.txn.rollback_to(token)
+            txn.rollback_to(token)
             raise
         finally:
             resilience.end_statement()
             self.table_function_cache.clear()
-        self.txn.release(token)
+            if pinned and not txn.explicit:
+                self.mvcc.unpin(txn)
+        txn.release(token)
         return result
 
     def execute_script(self, sql: str) -> list[Any]:

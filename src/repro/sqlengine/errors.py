@@ -94,6 +94,26 @@ class ResourceBudgetExceeded(SignalError):
         self.used = used
 
 
+class SerializationError(SignalError):
+    """Raised by the MVCC manager when a transaction's write conflicts
+    with another session's in-flight or already-committed write
+    (first-writer-wins / first-committer-wins under snapshot isolation).
+
+    Carries SQLSTATE ``40001`` (serialization failure), so PSM
+    ``DECLARE ... HANDLER FOR SQLSTATE '40001'`` catches it exactly like
+    a SIGNAL-raised condition; unhandled, it unwinds through the
+    statement marks and the client is expected to roll back and retry.
+    """
+
+    SQLSTATE = "40001"
+
+    def __init__(self, message: "str | None" = None) -> None:
+        super().__init__(
+            self.SQLSTATE,
+            message if message is not None else "serialization failure (40001)",
+        )
+
+
 class FaultInjected(ExecutionError):
     """Raised by an armed :class:`~repro.sqlengine.txn.FaultPlan` — the
     fault-injection harness's stand-in for a mid-statement crash."""

@@ -537,6 +537,17 @@ class Executor:
             frame = getattr(frame, "parent", None)
         return self.db.catalog.get_table(name)
 
+    def _read_table(self, name: str, env: Optional[Env]) -> Table:
+        """Resolve a table for *reading*: the version visible to the
+        current transaction's snapshot.  DML resolution stays on
+        :meth:`_resolve_table` — writes always target the live table and
+        surface conflicts through the MVCC claim in the primitives."""
+        table = self._resolve_table(name, env)
+        mvcc = self.db.mvcc
+        if mvcc.multi:
+            return mvcc.read_view(table, self.db.txn)
+        return table
+
     # -- FROM evaluation ----------------------------------------------------
 
     def _from_rows(
@@ -605,7 +616,7 @@ class Executor:
         candidates — the full WHERE clause is still evaluated later — so
         it can never change results, only skip rows that cannot match.
         """
-        table = self._resolve_table(source.name, env)
+        table = self._read_table(source.name, env)
         resilience = self.db.resilience
         if resilience.armed:
             # watchdog/governor checkpoint: every interpreted table bind
@@ -906,7 +917,7 @@ class Executor:
             if view is not None:
                 result = self.execute_select(view, Env(frame=env.frame))
                 return source.binding, result.columns, result.rows
-            table = self._resolve_table(source.name, env)
+            table = self._read_table(source.name, env)
             resilience = self.db.resilience
             if resilience.armed:
                 resilience.check()

@@ -126,7 +126,7 @@ class _Scan:
     def _table(self, executor: Executor, env: Env):
         if executor.db.catalog.has_view(self.name):
             raise PlanInvalidated(self.name)
-        table = executor._resolve_table(self.name, env)
+        table = executor._read_table(self.name, env)
         if table._index != self.expected:
             raise PlanInvalidated(self.name)
         return table
@@ -508,7 +508,7 @@ def _build_leaf(
         if view is not None:
             columns = executor._output_columns(view, env if env is not None else Env())
             return _View(source.name, source.binding, columns, view)
-        table = executor._resolve_table(source.name, env)
+        table = executor._read_table(source.name, env)
         colmap = {name.lower(): i for i, name in enumerate(table.column_names)}
         batch = (
             compile_batch_filter(

@@ -208,6 +208,15 @@ class Table:
         # discipline as the hash indexes, plus an incremental fast path
         # in append_row (the dominant mutation)
         self._column_store: Optional[tuple[int, ColumnStore]] = None
+        # MVCC (see repro.sqlengine.mvcc): the in-flight transaction
+        # holding this table's write claim, the csn of the last commit
+        # that touched it, the committed pre-images serving pinned
+        # snapshots, and the read-only Table views resolved from them.
+        # All stay empty while a single session is registered.
+        self.writer = None
+        self.last_committed_csn = 0
+        self.version_chain: list[tuple] = []
+        self._snapshot_views: dict[int, "Table"] = {}
 
     # -- metadata -----------------------------------------------------------
 
@@ -271,6 +280,8 @@ class Table:
         """Append a prepared row (see :meth:`prepare_row`); logs undo."""
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.insert", self.name)
             if txn.logging:
@@ -299,8 +310,11 @@ class Table:
     def delete_where(self, predicate: Callable[[list[Any]], bool]) -> int:
         """Delete rows matching ``predicate``; returns the count removed."""
         txn = self.txn
-        if txn is not None and txn.fault_plan is not None:
-            txn.fault_plan.hit("table.delete", self.name)
+        if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.delete", self.name)
         old_rows = self.rows
         wal = txn.wal if txn is not None and not self.temporary else None
         if wal is not None:
@@ -337,8 +351,11 @@ class Table:
         written, so a coercion failure leaves the row untouched.
         """
         txn = self.txn
-        if txn is not None and txn.fault_plan is not None:
-            txn.fault_plan.hit("table.update", self.name)
+        if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
+            if txn.fault_plan is not None:
+                txn.fault_plan.hit("table.update", self.name)
         log = txn.log if txn is not None and txn.logging else None
         wal = txn.wal if txn is not None and not self.temporary else None
         count = 0
@@ -366,6 +383,8 @@ class Table:
         """Overwrite one cell of a live row (temporal current semantics)."""
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.set_cell", self.name)
             if txn.logging:
@@ -379,6 +398,8 @@ class Table:
         """Overwrite a live row wholesale (already evaluated values)."""
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.update", self.name)
             if txn.logging:
@@ -396,6 +417,8 @@ class Table:
         """Swap in a rebuilt row list (bulk delete / reorder)."""
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.replace_rows", self.name)
             if txn.logging:
@@ -408,6 +431,8 @@ class Table:
     def truncate(self) -> None:
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.truncate", self.name)
             if txn.logging and self.rows:
@@ -431,6 +456,8 @@ class Table:
             )
         txn = self.txn
         if txn is not None:
+            if txn.mvcc.multi:
+                txn.mvcc.claim(txn, self)
             if txn.fault_plan is not None:
                 txn.fault_plan.hit("table.add_column", self.name)
             if txn.logging:

@@ -248,17 +248,31 @@ class TransactionManager:
     mutation.
     """
 
-    def __init__(self, db) -> None:
+    def __init__(self, db, name: str = "main") -> None:
         self.db = db
+        self.name = name
         self.log: list[tuple] = []
         self.marks: list[_Mark] = []
         self.explicit = False
         self.logging = False
         self.fault_plan: Optional[FaultPlan] = None
+        # MVCC (repro.sqlengine.mvcc): the shared manager, this
+        # transaction's pinned snapshot csn (None between autocommit
+        # statements), and the set of tables it holds write claims on.
+        # The storage primitives consult `mvcc.multi` per mutation; both
+        # fields stay empty while a single session is registered.
+        self.mvcc = db.mvcc
+        self.snapshot: Optional[int] = None
+        self.write_set: set = set()
         # redo side: the DurabilityManager, attached by
         # Database.attach_durability (None = durability disabled; the
-        # storage primitives' only added cost is this attribute load)
+        # storage primitives' only added cost is this attribute load).
+        # `redo` is this transaction's own buffer of encoded records —
+        # the manager's `buffer` property delegates to the *active*
+        # session's list, so concurrent sessions never interleave
+        # uncommitted redo (their claimed table sets are disjoint).
         self.wal = None
+        self.redo: list = []
         # callbacks run after any rollback that applied undo entries;
         # the stratum registers one to purge transform-cache entries
         # stored during the rolled-back window
@@ -274,8 +288,7 @@ class TransactionManager:
         if depth > self._undo_high_water:
             self._undo_high_water = depth
             self.db.obs.set_gauge("txn.undo_depth_high_water", depth)
-        wal = self.wal
-        mark = _Mark(name, depth, len(wal.buffer) if wal is not None else 0)
+        mark = _Mark(name, depth, len(self.redo) if self.wal is not None else 0)
         self.marks.append(mark)
         self.logging = True
         return mark
@@ -294,6 +307,8 @@ class TransactionManager:
                 # records become one durable transaction
                 if self.wal is not None:
                     self.wal.commit_buffered()
+                if self.write_set:
+                    self.mvcc.release_writes(self, committed=True)
 
     def rollback_to(self, mark: _Mark, keep: bool = False) -> None:
         """Undo every entry logged since ``mark``.
@@ -312,6 +327,11 @@ class TransactionManager:
             self.logging = self.explicit
             if not self.explicit:
                 self.log.clear()
+                # autocommit abort point: the undo log has restored the
+                # claimed tables, so the claims can be released without
+                # installing a new version
+                if self.write_set:
+                    self.mvcc.release_writes(self, committed=False)
 
     def _undo_to(self, index: int) -> None:
         if len(self.log) <= index:
@@ -346,6 +366,11 @@ class TransactionManager:
             raise ExecutionError("a transaction is already in progress")
         self.explicit = True
         self.logging = True
+        # pin the snapshot every read in this transaction resolves
+        # through (repeatable reads); a server session may have pinned
+        # already, at the moment the BEGIN statement arrived
+        if self.snapshot is None:
+            self.mvcc.pin(self)
 
     def commit(self) -> None:
         if not self.explicit:
@@ -358,6 +383,9 @@ class TransactionManager:
         self.marks.clear()
         self.log.clear()
         self.logging = False
+        if self.write_set:
+            self.mvcc.release_writes(self, committed=True)
+        self.mvcc.unpin(self)
 
     def rollback(self) -> None:
         if not self.explicit:
@@ -370,6 +398,9 @@ class TransactionManager:
         self.explicit = False
         self.log.clear()
         self.logging = False
+        if self.write_set:
+            self.mvcc.release_writes(self, committed=False)
+        self.mvcc.unpin(self)
 
     def savepoint(self, name: str) -> None:
         if not self.explicit:
@@ -409,6 +440,18 @@ class TransactionManager:
         else:  # pragma: no cover - parser emits only the above
             raise ExecutionError(f"unknown transaction action {action!r}")
         return None
+
+    # -- MVCC claims -----------------------------------------------------
+
+    def claim_write(self, table) -> None:
+        """Claim ``table`` before a read-then-mutate flow scans it.
+
+        The storage primitives claim on first mutation, but paths that
+        scan the target rows *before* mutating (temporal currency
+        rewrites, transaction-time maintenance, sequenced modifications)
+        claim up front so the scan itself runs against a state this
+        transaction is entitled to modify."""
+        self.mvcc.claim(self, table)
 
     # -- statement guard -------------------------------------------------
 

@@ -233,7 +233,7 @@ class DurabilityManager:
         self.dir.mkdir(parents=True, exist_ok=True)
         self.sync = sync
         self.auto_checkpoint_bytes = auto_checkpoint_bytes
-        self.buffer: list[list] = []  # encoded records awaiting commit
+        self.buffer = []  # encoded records awaiting commit (per-txn)
         self.generation = 0
         self.txn_counter = 0
         self.replaying = False
@@ -243,6 +243,20 @@ class DurabilityManager:
         self.stratum = None
         self.registries: dict[str, Any] = {}
         self.obs = db.obs
+
+    # -- redo buffer ----------------------------------------------------
+
+    # The buffer lives on the *active transaction*, not the manager:
+    # each session accumulates its own uncommitted redo records, so one
+    # session's commit never flushes another's in-flight writes.  With a
+    # single session this is exactly the old manager-owned list.
+    @property
+    def buffer(self) -> list:
+        return self.db.txn.redo
+
+    @buffer.setter
+    def buffer(self, records: list) -> None:
+        self.db.txn.redo = records
 
     # -- paths ----------------------------------------------------------
 

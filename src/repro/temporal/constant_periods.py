@@ -81,7 +81,7 @@ def _cp_sources(
     """Resolve the named tables with their period columns."""
     sources = []
     for name in table_names:
-        table = db.catalog.get_table(name)
+        table = db.read_table(name)
         info = registry.get(table.name)
         assert info is not None
         sources.append((table, info.begin_column, info.end_column))

@@ -127,6 +127,8 @@ def _sequenced_delete(
 ) -> int:
     """Remove validity within the context, splitting cut periods."""
     table = db.catalog.get_table(stmt.table)
+    # claim before the scan: read-then-mutate must target the live table
+    db.txn.claim_write(table)
     alias = stmt.alias or stmt.table
     begin_index = table.column_index(info.begin_column)
     end_index = table.column_index(info.end_column)
@@ -160,6 +162,7 @@ def _sequenced_update(
                 "sequenced UPDATE may not assign timestamp columns"
             )
     table = db.catalog.get_table(stmt.table)
+    db.txn.claim_write(table)
     alias = stmt.alias or stmt.table
     colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
     begin_index = table.column_index(info.begin_column)

@@ -138,6 +138,8 @@ class TemporalStratum:
         # DDL pushes the version back up)
         self.registry.txn = self.db.txn
         self.tt_registry.txn = self.db.txn
+        # session switches (Database.activate_txn) must repoint these too
+        self.db.txn_followers.extend([self.registry, self.tt_registry])
         self.db.txn.rollback_hooks.append(self._evict_stale_transforms)
 
     # ------------------------------------------------------------------
@@ -296,6 +298,12 @@ class TemporalStratum:
         # partially-applied temporal operation behind
         txn = self.db.txn
         resilience = self.db.resilience
+        # pin the snapshot for the whole temporal statement: the engine
+        # statements it expands into inherit it, so a sequenced query
+        # reads one consistent version of every underlying table
+        pinned = txn.snapshot is None
+        if pinned:
+            self.db.mvcc.pin(txn)
         # the temporal statement is the top-level unit the watchdog
         # deadline covers: the per-period engine statements it expands
         # into re-enter Database.execute_ast at depth > 0
@@ -315,6 +323,8 @@ class TemporalStratum:
             raise
         finally:
             resilience.end_statement()
+            if pinned and not txn.explicit:
+                self.db.mvcc.unpin(txn)
         txn.release(token)
         return result
 
@@ -553,6 +563,9 @@ class TemporalStratum:
         """TUC UPDATE: terminate currently-valid rows, insert new versions."""
         info = self.registry.get(stmt.table)
         table = self.db.catalog.get_table(stmt.table)
+        # claim before the scan: this read-then-mutate path must see (and
+        # conflict against) the live table, never a snapshot view
+        self.db.txn.claim_write(table)
         now = self.db.now
         alias = stmt.alias or stmt.table
         colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
@@ -592,6 +605,7 @@ class TemporalStratum:
         """
         info = self.registry.get(stmt.table)
         table = self.db.catalog.get_table(stmt.table)
+        self.db.txn.claim_write(table)
         now = self.db.now
         alias = stmt.alias or stmt.table
         colmap = {c.lower(): i for i, c in enumerate(table.column_names)}
@@ -668,7 +682,7 @@ class TemporalStratum:
         points: set[int] = set()
         for name in tables:
             info = registry.get(name)
-            table = self.db.catalog.get_table(name)
+            table = self.db.read_table(name)
             points |= table.change_points(
                 table.column_index(info.begin_column),
                 table.column_index(info.end_column),
@@ -1030,7 +1044,7 @@ class TemporalStratum:
                 points: set[int] = set()
                 for name in tables:
                     info = self.registry.get(name)
-                    table = self.db.catalog.get_table(name)
+                    table = self.db.read_table(name)
                     points |= table.change_points(
                         table.column_index(info.begin_column),
                         table.column_index(info.end_column),

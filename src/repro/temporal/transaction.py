@@ -144,11 +144,14 @@ class TransactionTimeDml:
     def execute_delete(self, stmt: ast.Delete, clock: Date) -> int:
         """Logical deletion: close the believed-now versions."""
         table, info = self._table_and_info(stmt.table)
+        self.db.txn.claim_write(table)
         return self._close_matching(table, info, stmt.where, stmt.alias, clock)
 
     def execute_update(self, stmt: ast.Update, clock: Date) -> int:
         """Close the believed-now versions and record the new belief."""
         table, info = self._table_and_info(stmt.table)
+        # claim before the scan: read-then-mutate must target the live table
+        self.db.txn.claim_write(table)
         self._reject_explicit_tt_columns(stmt, info)
         alias = stmt.alias or stmt.table
         colmap = {c.lower(): i for i, c in enumerate(table.column_names)}

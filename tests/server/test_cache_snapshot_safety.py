@@ -1,0 +1,154 @@
+"""Snapshot safety of the plan, transform, and constant-period caches.
+
+Before MVCC, every cache could assume exactly one global table state:
+a cached plan resolved its table by name, the cp cache's identity
+check compared against THE table.  With two sessions pinned at
+different snapshots the same cached artifacts are consulted by both —
+these tests pin a reader, commit changes from the other session, and
+assert the reader's repeated (cache-served) executions keep returning
+its snapshot's data, not the live state the caches last saw.
+"""
+
+import pytest
+
+from repro.temporal.stratum import SlicingStrategy
+
+from tests.conftest import make_bookstore
+
+SEQ = (
+    "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+    " SELECT first_name FROM author"
+)
+JOIN = (
+    "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01']"
+    " SELECT first_name, title FROM author, item, item_author"
+    " WHERE author.author_id = item_author.author_id"
+    " AND item.id = item_author.item_id"
+)
+
+
+def raw(result):
+    if isinstance(result, list):
+        return [raw(r) for r in result]
+    return (list(result.columns), [list(row) for row in result.rows])
+
+
+@pytest.fixture
+def stratum():
+    return make_bookstore()
+
+
+@pytest.fixture(params=[SlicingStrategy.MAX, SlicingStrategy.PERST])
+def strategy(request):
+    return request.param
+
+
+def test_cp_cache_does_not_leak_live_periods_into_snapshot(stratum, strategy):
+    """The pinned reader's sequenced results are byte-stable while the
+    other session commits rows that change the constant periods."""
+    db = stratum.db
+    # warm every cache from the root session first
+    baseline = raw(stratum.execute(SEQ, strategy=strategy))
+    session = db.create_session("reader")
+    root = db.root_txn
+    db.activate_txn(session)
+    stratum.execute("BEGIN")
+    pinned = raw(stratum.execute(SEQ, strategy=strategy))
+    assert pinned == baseline
+    # the writer commits a row introducing new change points
+    db.activate_txn(root)
+    db.execute(
+        "INSERT INTO author VALUES"
+        " ('a3', 'Toni', 'Morrison', DATE '2010-04-15', DATE '2010-08-15')"
+    )
+    after = raw(stratum.execute(SEQ, strategy=strategy))
+    assert after != baseline  # the live session sees the new history
+    # the pinned reader re-runs through whatever the caches now hold —
+    # and must still see exactly its snapshot
+    db.activate_txn(session)
+    assert raw(stratum.execute(SEQ, strategy=strategy)) == baseline
+    assert raw(stratum.execute(SEQ, strategy=strategy)) == baseline
+    stratum.execute("COMMIT")
+    # a fresh snapshot finally observes the commit
+    assert raw(stratum.execute(SEQ, strategy=strategy)) == after
+    db.close_session(session)
+
+
+def test_join_cp_sources_resolve_through_snapshot(stratum, strategy):
+    db = stratum.db
+    baseline = raw(stratum.execute(JOIN, strategy=strategy))
+    session = db.create_session("reader")
+    root = db.root_txn
+    db.activate_txn(session)
+    stratum.execute("BEGIN")
+    assert raw(stratum.execute(JOIN, strategy=strategy)) == baseline
+    db.activate_txn(root)
+    db.execute(
+        "INSERT INTO item VALUES"
+        " ('i3', 'Book Three', 12.0, DATE '2010-05-01', DATE '9999-12-31')"
+    )
+    db.execute(
+        "INSERT INTO item_author VALUES"
+        " ('i3', 'a2', DATE '2010-05-01', DATE '9999-12-31')"
+    )
+    after = raw(stratum.execute(JOIN, strategy=strategy))
+    assert after != baseline
+    db.activate_txn(session)
+    assert raw(stratum.execute(JOIN, strategy=strategy)) == baseline
+    stratum.execute("COMMIT")
+    db.close_session(session)
+    assert raw(stratum.execute(JOIN, strategy=strategy)) == after
+
+
+def test_plan_cache_serves_snapshot_reads(stratum):
+    """A compiled plan warmed on the live table must not pin the reader
+    to live rows (plans re-resolve their table per execution)."""
+    db = stratum.db
+    query = "SELECT first_name FROM author WHERE author_id = 'a1'"
+    baseline = raw(db.execute(query))
+    for _ in range(3):  # make sure the plan is compiled and cached
+        assert raw(db.execute(query)) == baseline
+    session = db.create_session("reader")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    assert raw(db.execute(query)) == baseline
+    db.activate_txn(root)
+    db.execute("UPDATE author SET first_name = 'Changed' WHERE author_id = 'a1'")
+    after = raw(db.execute(query))
+    assert after != baseline
+    db.activate_txn(session)
+    # same SQL, same cached plan — different visible version
+    assert raw(db.execute(query)) == baseline
+    db.execute("COMMIT")
+    assert raw(db.execute(query)) == after
+    db.close_session(session)
+
+
+def test_alternating_sessions_each_get_their_own_periods(stratum):
+    """Interleaved sequenced executions from two differently-pinned
+    sessions never cross-contaminate through the shared caches."""
+    db = stratum.db
+    first = raw(stratum.execute(SEQ, strategy=SlicingStrategy.MAX))
+    session = db.create_session("reader")
+    root = db.root_txn
+    db.activate_txn(session)
+    stratum.execute("BEGIN")
+    assert raw(stratum.execute(SEQ, strategy=SlicingStrategy.MAX)) == first
+    db.activate_txn(root)
+    db.execute(
+        "INSERT INTO author VALUES"
+        " ('a4', 'Octavia', 'Butler', DATE '2010-07-01', DATE '9999-12-31')"
+    )
+    second = raw(stratum.execute(SEQ, strategy=SlicingStrategy.MAX))
+    assert second != first
+    # strict alternation, several rounds: every execution flips the
+    # cp/transform caches between the two table versions
+    for _ in range(3):
+        db.activate_txn(session)
+        assert raw(stratum.execute(SEQ, strategy=SlicingStrategy.MAX)) == first
+        db.activate_txn(root)
+        assert raw(stratum.execute(SEQ, strategy=SlicingStrategy.MAX)) == second
+    db.activate_txn(session)
+    stratum.execute("ROLLBACK")
+    db.close_session(session)

@@ -1,0 +1,278 @@
+"""Snapshot-isolation visibility properties, via the direct session API.
+
+Each test drives two (or more) sessions on one in-memory database with
+``Database.create_session`` / ``activate_txn`` — the same machinery the
+wire server uses, minus the sockets — and checks one MVCC guarantee:
+own-writes visibility, no dirty reads, repeatable reads, first-writer-
+and first-committer-wins 40001s, handler integration, and pin/chain
+cleanup.
+"""
+
+import pytest
+
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import ExecutionError, SerializationError
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INT, v VARCHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'a')")
+    db.execute("INSERT INTO t VALUES (2, 'b')")
+    return db
+
+
+def read_v(db, row_id):
+    return db.execute(f"SELECT v FROM t WHERE id = {row_id}").scalar()
+
+
+def test_session_reads_own_uncommitted_writes(db):
+    session = db.create_session("s")
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'mine' WHERE id = 1")
+    assert read_v(db, 1) == "mine"
+    db.execute("ROLLBACK")
+    assert read_v(db, 1) == "a"
+    db.close_session(session)
+
+
+def test_no_dirty_reads(db):
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'dirty' WHERE id = 1")
+    db.activate_txn(root)
+    assert read_v(db, 1) == "a"
+    db.activate_txn(session)
+    db.execute("ROLLBACK")
+    db.activate_txn(root)
+    assert read_v(db, 1) == "a"
+    db.close_session(session)
+
+
+def test_repeatable_reads_across_foreign_commit(db):
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    assert read_v(db, 1) == "a"
+    db.activate_txn(root)
+    db.execute("UPDATE t SET v = 'new' WHERE id = 1")
+    assert read_v(db, 1) == "new"
+    # the pinned session still sees its snapshot, repeatedly
+    db.activate_txn(session)
+    assert read_v(db, 1) == "a"
+    assert read_v(db, 1) == "a"
+    db.execute("COMMIT")
+    # a fresh snapshot sees the commit
+    assert read_v(db, 1) == "new"
+    db.close_session(session)
+
+
+def test_first_writer_wins_raises_40001_exactly_once(db):
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(root)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'root' WHERE id = 1")
+    db.activate_txn(session)
+    with pytest.raises(SerializationError) as excinfo:
+        db.execute("UPDATE t SET v = 'session' WHERE id = 1")
+    assert excinfo.value.sqlstate == "40001"
+    # the failed statement rolled back cleanly: the session can go on
+    # reading (the pre-image) and writing to an unclaimed table without
+    # a second conflict appearing out of nowhere
+    assert read_v(db, 1) == "a"
+    db.execute("CREATE TABLE u (id INT)")
+    db.execute("INSERT INTO u VALUES (7)")
+    db.activate_txn(root)
+    db.execute("COMMIT")
+    db.close_session(session)
+    assert read_v(db, 1) == "root"
+    assert db.execute("SELECT id FROM u").scalar() == 7
+
+
+def test_first_committer_wins_and_retry_succeeds(db):
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    assert read_v(db, 1) == "a"  # snapshot pinned before root commits
+    db.activate_txn(root)
+    db.execute("UPDATE t SET v = 'first' WHERE id = 1")
+    db.activate_txn(session)
+    with pytest.raises(SerializationError):
+        db.execute("UPDATE t SET v = 'second' WHERE id = 1")
+    db.execute("ROLLBACK")
+    # the classic retry loop: a fresh transaction sees the committed
+    # state and the same update now succeeds
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'second' WHERE id = 1")
+    db.execute("COMMIT")
+    db.close_session(session)
+    assert read_v(db, 1) == "second"
+
+
+def test_insert_insert_on_same_table_conflicts(db):
+    # claims are table-granularity: concurrent inserts into one table
+    # are a write-write conflict by design
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t VALUES (10, 'x')")
+    db.activate_txn(root)
+    with pytest.raises(SerializationError):
+        db.execute("INSERT INTO t VALUES (11, 'y')")
+    db.activate_txn(session)
+    db.execute("COMMIT")
+    db.close_session(session)
+    assert len(db.execute("SELECT id FROM t").rows) == 3
+
+
+def test_continue_handler_catches_40001(db):
+    db.execute("CREATE TABLE log (note VARCHAR(20))")
+    db.execute(
+        "CREATE PROCEDURE try_update () LANGUAGE SQL BEGIN"
+        " DECLARE CONTINUE HANDLER FOR SQLSTATE '40001'"
+        " INSERT INTO log VALUES ('handled');"
+        " UPDATE t SET v = 'proc' WHERE id = 1;"
+        " INSERT INTO log VALUES ('after');"
+        " END"
+    )
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(root)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'root' WHERE id = 1")
+    db.activate_txn(session)
+    db.execute("CALL try_update()")  # conflict handled inside, CONTINUEs
+    notes = [r[0] for r in db.execute("SELECT note FROM log").rows]
+    assert notes == ["handled", "after"]
+    db.activate_txn(root)
+    db.execute("COMMIT")
+    db.close_session(session)
+    assert read_v(db, 1) == "root"  # the handled UPDATE never applied
+
+
+def test_exit_handler_catches_40001(db):
+    db.execute("CREATE TABLE log (note VARCHAR(20))")
+    db.execute(
+        "CREATE PROCEDURE try_update () LANGUAGE SQL BEGIN"
+        " DECLARE EXIT HANDLER FOR SQLSTATE '40001'"
+        " INSERT INTO log VALUES ('handled');"
+        " UPDATE t SET v = 'proc' WHERE id = 1;"
+        " INSERT INTO log VALUES ('after');"
+        " END"
+    )
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(root)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'root' WHERE id = 1")
+    db.activate_txn(session)
+    db.execute("CALL try_update()")
+    notes = [r[0] for r in db.execute("SELECT note FROM log").rows]
+    assert notes == ["handled"]  # EXIT: the statement after is skipped
+    db.activate_txn(root)
+    db.execute("ROLLBACK")
+    db.close_session(session)
+
+
+def test_unhandled_40001_unwinds_like_signal(db):
+    db.execute(
+        "CREATE PROCEDURE blind_update () LANGUAGE SQL BEGIN"
+        " UPDATE t SET v = 'proc' WHERE id = 1;"
+        " END"
+    )
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(root)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'root' WHERE id = 1")
+    db.activate_txn(session)
+    with pytest.raises(SerializationError) as excinfo:
+        db.execute("CALL blind_update()")
+    assert excinfo.value.sqlstate == "40001"
+    db.activate_txn(root)
+    db.execute("ROLLBACK")
+    db.close_session(session)
+
+
+def test_close_session_rolls_back_and_releases_pin(db):
+    session = db.create_session("s")
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'gone' WHERE id = 1")
+    assert db.mvcc.pins and db.mvcc.state()["inflight_writers"]
+    db.close_session(session)
+    assert not db.mvcc.pins
+    assert db.mvcc.quiescent()
+    assert not db.mvcc.multi  # collapsed back to the dormant state
+    assert read_v(db, 1) == "a"
+
+
+def test_version_chains_collapse_when_last_session_leaves(db):
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    assert read_v(db, 1) == "a"
+    db.activate_txn(root)
+    db.execute("UPDATE t SET v = 'new' WHERE id = 1")
+    table = db.catalog.get_table("t")
+    assert table.version_chain  # the session's snapshot needs it
+    db.activate_txn(session)
+    db.execute("COMMIT")
+    db.close_session(session)
+    assert not table.version_chain
+    assert not table._snapshot_views
+    assert not db.mvcc.multi
+
+
+def test_registration_requires_quiescence_only_when_dormant(db):
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'open' WHERE id = 1")
+    # dormant -> multi with the root's write claim pending: the
+    # pre-image was never captured, so registration must refuse
+    with pytest.raises(ExecutionError):
+        db.create_session("s")
+    db.execute("COMMIT")
+    session = db.create_session("s")
+    # already multi: a second session may join even mid-write
+    db.activate_txn(session)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = 'claimed' WHERE id = 1")
+    other = db.create_session("s2")
+    db.execute("COMMIT")
+    db.close_session(other)
+    db.close_session(session)
+
+
+def test_reads_never_claim_or_conflict(db):
+    # a read-only CALL in one session runs against the pre-image of a
+    # table another session is mutating — no claim, no 40001, and the
+    # reader leaves no write-set entry behind
+    db.execute(
+        "CREATE PROCEDURE count_rows () LANGUAGE SQL BEGIN"
+        " SELECT COUNT(*) FROM t;"
+        " END"
+    )
+    session = db.create_session("s")
+    root = db.root_txn
+    db.activate_txn(root)
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t VALUES (3, 'c')")
+    db.activate_txn(session)
+    results = db.execute("CALL count_rows()")
+    assert results[0].scalar() == 2  # pre-image: the insert is invisible
+    assert not session.write_set
+    db.activate_txn(root)
+    db.execute("COMMIT")
+    db.activate_txn(session)
+    results = db.execute("CALL count_rows()")
+    assert results[0].scalar() == 3
+    db.close_session(session)
