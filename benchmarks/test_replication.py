@@ -1,0 +1,182 @@
+"""Replication lag and replica read throughput.
+
+A real primary/standby pair (two servers, one WAL-shipping link over
+loopback) is driven at several paced write rates.  For every commit we
+record the primary-side commit instant and the instant the standby's
+``applied_csn`` first covers it (5 ms polling), giving steady-state
+replication lag in both commit sequence numbers and seconds.  A second
+phase compares sequential read throughput on the standby against the
+primary — the replica serves snapshot reads at its applied csn, so the
+two should be in the same band.  Emits ``BENCH_replication.json``.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.server import ReproClient, ReproServer, StandbyManager
+from repro.temporal.stratum import TemporalStratum
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_replication.json"
+WRITE_RATES = (25, 100, 400)  # writes/second (asks; loopback can exceed)
+WRITES_PER_RATE = 80
+READS = 250
+QUERY = "SELECT v FROM t WHERE id = 7"
+
+
+async def _paced_writes(client, rate, count, commits, primary_db):
+    interval = 1.0 / rate
+    next_at = time.perf_counter()
+    for i in range(count):
+        delay = next_at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        next_at += interval
+        await client.execute(
+            f"UPDATE t SET v = 'w{i}' WHERE id = {i % 50}"
+        )
+        commits.append(
+            (primary_db.durability.txn_counter, time.perf_counter())
+        )
+
+
+async def _watch_applied(applier, applied_at, stop):
+    seen = applier.applied_csn
+    while not stop.is_set():
+        current = applier.applied_csn
+        if current != seen:
+            now = time.perf_counter()
+            for seq in range(seen + 1, current + 1):
+                applied_at[seq] = now
+            seen = current
+        await asyncio.sleep(0.005)
+
+
+async def _lag_phase(pc, primary_db, manager, rate):
+    commits = []
+    applied_at = {}
+    stop = asyncio.Event()
+    watcher = asyncio.ensure_future(
+        _watch_applied(manager.applier, applied_at, stop)
+    )
+    start = time.perf_counter()
+    await _paced_writes(pc, rate, WRITES_PER_RATE, commits, primary_db)
+    last_seq = commits[-1][0]
+    while manager.applier.applied_csn < last_seq:
+        await asyncio.sleep(0.005)
+    stop.set()
+    await watcher
+    elapsed = time.perf_counter() - start
+    lags = [
+        applied_at[seq] - committed
+        for seq, committed in commits
+        if seq in applied_at
+    ]
+    lags.sort()
+    lag_csn_samples = [
+        max(0, seq - manager.applier.applied_csn) for seq, _ in commits
+    ]
+    return {
+        "write_rate_asked": rate,
+        "write_rate_achieved": len(commits) / elapsed,
+        "commits": len(commits),
+        "lag_seconds_p50": lags[len(lags) // 2],
+        "lag_seconds_p95": lags[int(len(lags) * 0.95)],
+        "lag_seconds_max": lags[-1],
+        "final_lag_csn": lag_csn_samples[-1],
+    }
+
+
+async def _read_phase(client, label, min_csn=None):
+    if min_csn is not None:  # make the replica read at the latest csn
+        await client.execute(QUERY, min_csn=min_csn, wait=10.0)
+    start = time.perf_counter()
+    for _ in range(READS):
+        await client.execute(QUERY)
+    elapsed = time.perf_counter() - start
+    return {"side": label, "reads": READS, "seconds": elapsed,
+            "reads_per_sec": READS / elapsed}
+
+
+async def _sweep(base_dir):
+    p_stratum = TemporalStratum.open(
+        base_dir / "p", auto_checkpoint_bytes=1 << 40
+    )
+    primary = ReproServer(p_stratum)
+    await primary.start()
+    pc = await ReproClient.connect(primary.host, primary.port)
+    await pc.execute("CREATE TABLE t (id INT, v VARCHAR(16))")
+    for i in range(50):
+        await pc.execute(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+
+    s_stratum = TemporalStratum.open(base_dir / "s")
+    standby_srv = ReproServer(s_stratum)
+    await standby_srv.start()
+    manager = StandbyManager(
+        standby_srv, primary.host, primary.port, poll_wait=1.0
+    )
+    await manager.start()
+    sc = await ReproClient.connect(standby_srv.host, standby_srv.port)
+    await sc.execute(
+        QUERY, min_csn=p_stratum.db.durability.txn_counter, wait=10.0
+    )
+
+    lag_series = []
+    for rate in WRITE_RATES:
+        lag_series.append(await _lag_phase(pc, p_stratum.db, manager, rate))
+
+    reads = [
+        await _read_phase(pc, "primary"),
+        await _read_phase(
+            sc, "standby", min_csn=p_stratum.db.durability.txn_counter
+        ),
+    ]
+
+    frames = s_stratum.db.obs.value("replication.batches_applied")
+    await sc.close()
+    await pc.close()
+    await standby_srv.shutdown()
+    await primary.shutdown()
+    s_stratum.db.close(checkpoint=False)
+    p_stratum.db.close()
+    return lag_series, reads, frames
+
+
+def test_replication_lag_and_replica_reads(benchmark, tmp_path):
+    lag_series, reads, batches = benchmark.pedantic(
+        lambda: asyncio.run(_sweep(tmp_path)), rounds=1, iterations=1
+    )
+    payload = {
+        "writes_per_rate": WRITES_PER_RATE,
+        "lag_vs_write_rate": lag_series,
+        "read_throughput": reads,
+        "standby_batches_applied": batches,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    lag_lines = [
+        f"  {cell['write_rate_asked']:4d} w/s asked"
+        f" ({cell['write_rate_achieved']:6.1f} achieved):"
+        f" lag p50 {cell['lag_seconds_p50'] * 1000:6.1f} ms,"
+        f" p95 {cell['lag_seconds_p95'] * 1000:6.1f} ms,"
+        f" final lag {cell['final_lag_csn']} csn"
+        for cell in lag_series
+    ]
+    read_lines = [
+        f"  {cell['side']:8s}: {cell['reads_per_sec']:8.0f} reads/s"
+        for cell in reads
+    ]
+    print_report(
+        "replication lag vs write rate:\n" + "\n".join(lag_lines)
+        + "\nread throughput (sequential, one client):\n"
+        + "\n".join(read_lines)
+        + f"\n  -> {OUTPUT.name}"
+    )
+    # every commit eventually applied, at every rate
+    assert all(cell["final_lag_csn"] == 0 for cell in lag_series)
+    # the replica must serve reads in the primary's band (not stalled
+    # behind the apply loop); generous 3x floor to stay CI-stable
+    primary_rps = reads[0]["reads_per_sec"]
+    standby_rps = reads[1]["reads_per_sec"]
+    assert standby_rps > primary_rps / 3, (primary_rps, standby_rps)

@@ -18,15 +18,42 @@ client library, and ``python -m repro serve --db PATH`` the CLI entry
 point.
 """
 
-from repro.server.client import ClientResult, ReproClient, ServerError
+from repro.server.client import (
+    ClientResult,
+    ConnectionLostError,
+    ReproClient,
+    ServerError,
+)
 from repro.server.core import ReproServer
-from repro.server.protocol import MAX_FRAME_BYTES, FrameError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameError,
+    FramedReader,
+)
+from repro.server.replication import (
+    ReplicationSource,
+    StandbyApplier,
+    StandbyManager,
+    fingerprint_divergence,
+    fingerprints_at,
+    store_fingerprints,
+)
 
 __all__ = [
     "ClientResult",
+    "ConnectionClosed",
+    "ConnectionLostError",
     "FrameError",
+    "FramedReader",
     "MAX_FRAME_BYTES",
+    "ReplicationSource",
     "ReproClient",
     "ReproServer",
     "ServerError",
+    "StandbyApplier",
+    "StandbyManager",
+    "fingerprint_divergence",
+    "fingerprints_at",
+    "store_fingerprints",
 ]

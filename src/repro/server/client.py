@@ -11,23 +11,42 @@
 
 Engine errors arrive as :class:`ServerError` with the originating
 ``sqlstate`` (``'40001'`` for a serialization failure the caller
-should retry).
+should retry; ``'25006'`` when a write reaches a read-only standby).
+
+**Reconnection.** Every request carries a monotonically increasing
+request id (``rid``) that the server echoes, so a response can never be
+attributed to the wrong request.  When the connection drops, the client
+reconnects with bounded jittered backoff and — *only* for requests that
+are safe to repeat (pings, session settings, read-only statements
+outside an explicit transaction) — resends the same request under the
+same rid.  Anything else surfaces as :class:`ConnectionLostError`
+instead of a raw ``ConnectionError``, and a drop inside an open
+transaction always does: the server-side session (and its open
+transaction) died with the link, which no retry can hide.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
+import re
 from typing import Any, Optional
 
 from repro.server.protocol import (
     ClientResult,
+    ConnectionClosed,
     FrameError,
+    FramedReader,
     decode_result,
     encode_frame,
-    read_frame,
 )
 
-__all__ = ["ClientResult", "ReproClient", "ServerError"]
+__all__ = [
+    "ClientResult",
+    "ConnectionLostError",
+    "ReproClient",
+    "ServerError",
+]
 
 
 class ServerError(Exception):
@@ -38,63 +57,255 @@ class ServerError(Exception):
         self.sqlstate = sqlstate
 
 
+class ConnectionLostError(ConnectionError):
+    """The connection died and the request could not be safely retried
+    (non-idempotent statement, open transaction, or retries exhausted)."""
+
+
+# a statement is safe to resend iff it cannot have changed server state:
+# plain or sequenced SELECTs (VALIDTIME UPDATE/DELETE deliberately do
+# not match).  EXPLAIN is excluded: EXPLAIN ANALYZE executes.
+_READ_ONLY_RE = re.compile(
+    r"^\s*(?:NONSEQUENCED\s+)?(?:VALIDTIME|TRANSACTIONTIME)?"
+    r"\s*(?:\[[^\]]*\])?\s*SELECT\b",
+    re.IGNORECASE,
+)
+
+
 class ReproClient:
     """One connection = one server-side session (own MVCC snapshot)."""
 
-    def __init__(self, reader, writer) -> None:
-        self._reader = reader
+    def __init__(
+        self,
+        reader,
+        writer,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        reconnect: bool = True,
+        reconnect_attempts: int = 5,
+        reconnect_base_delay: float = 0.05,
+        reconnect_max_delay: float = 1.0,
+    ) -> None:
+        self._framed = FramedReader(reader)
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._reconnect = reconnect and host is not None
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_base_delay = reconnect_base_delay
+        self._reconnect_max_delay = reconnect_max_delay
+        self._rng = random.Random()
+        self._next_rid = 1
+        self._in_txn = False
+        # session settings, replayed onto a fresh connection so a
+        # reconnected session behaves like the one that dropped
+        self._settings: dict[str, Any] = {}
         # the csn the most recent statement read through
         self.last_snapshot: Optional[int] = None
+        # the replication position a standby reported for the most
+        # recent statement (None when talking to a primary)
+        self.last_applied_csn: Optional[int] = None
+        self.reconnects = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ReproClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        reconnect: bool = True,
+        reconnect_attempts: int = 5,
+        reconnect_base_delay: float = 0.05,
+        reconnect_max_delay: float = 1.0,
+    ) -> "ReproClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            reconnect=reconnect,
+            reconnect_attempts=reconnect_attempts,
+            reconnect_base_delay=reconnect_base_delay,
+            reconnect_max_delay=reconnect_max_delay,
+        )
+
+    # -- transport ------------------------------------------------------
+
+    def _teardown_transport(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._writer = None
+        self._framed = None
+
+    async def _open_transport(self) -> None:
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        self._framed = FramedReader(reader)
+        self._writer = writer
+        self.reconnects += 1
+        for key, value in self._settings.items():
+            rid = self._next_rid
+            self._next_rid += 1
+            self._writer.write(
+                encode_frame({"op": "set", key: value, "rid": rid})
+            )
+            await self._writer.drain()
+            response = await self._framed.read()
+            if response is None:
+                raise ConnectionClosed("server closed the connection")
+            if not response.get("ok"):
+                raise ServerError(
+                    response.get("error", "could not replay session settings"),
+                    response.get("sqlstate"),
+                )
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(
+            self._reconnect_max_delay,
+            self._reconnect_base_delay * (2 ** attempt),
+        )
+        return delay * (0.5 + self._rng.random() / 2)  # full-ish jitter
+
+    # -- request machinery ----------------------------------------------
+
+    def _is_safe_to_retry(self, message: dict) -> bool:
+        op = message.get("op")
+        if op in ("ping", "set"):
+            return True
+        if op == "execute":
+            return _READ_ONLY_RE.match(message.get("sql", "")) is not None
+        return False
+
+    async def request(
+        self, message: dict, *, retryable: Optional[bool] = None
+    ) -> dict:
+        """Send one raw request, return the raw response dict.
+
+        Used by the replication tailer and the cross-node scrubber;
+        ``retryable`` overrides the built-in safe-to-resend detection.
+        """
+        rid = self._next_rid
+        self._next_rid += 1
+        message = dict(message)
+        message["rid"] = rid
+        can_retry = (
+            self._reconnect
+            and not self._in_txn
+            and (
+                retryable
+                if retryable is not None
+                else self._is_safe_to_retry(message)
+            )
+        )
+        attempt = 0
+        while True:
+            try:
+                if self._writer is None:
+                    await self._open_transport()
+                self._writer.write(encode_frame(message))
+                await self._writer.drain()
+                response = await self._framed.read()
+                if response is None:
+                    raise ConnectionClosed("server closed the connection")
+                break
+            except (ConnectionClosed, ConnectionError, OSError) as exc:
+                self._teardown_transport()
+                dropped_txn = self._in_txn
+                self._in_txn = False  # the server-side session is gone
+                if dropped_txn:
+                    raise ConnectionLostError(
+                        "connection dropped inside an open transaction;"
+                        " its state is lost — reconnect and retry the"
+                        f" whole transaction ({exc})"
+                    ) from exc
+                if not can_retry or attempt >= self._reconnect_attempts:
+                    raise ConnectionLostError(
+                        f"connection lost and request is not retryable"
+                        f" (or retries exhausted): {exc}"
+                    ) from exc
+                await asyncio.sleep(self._backoff(attempt))
+                attempt += 1
+        echoed = response.get("rid")
+        if echoed is not None and echoed != rid:
+            raise FrameError(
+                f"response rid {echoed} does not match request rid {rid}"
+            )
+        return response
 
     async def _roundtrip(self, message: dict) -> Any:
-        self._writer.write(encode_frame(message))
-        await self._writer.drain()
-        response = await read_frame(self._reader)
-        if response is None:
-            raise FrameError("server closed the connection")
+        response = await self.request(message)
         if not response.get("ok"):
             raise ServerError(
                 response.get("error", "unknown server error"),
                 response.get("sqlstate"),
             )
+        if message.get("op") == "execute":
+            head = message.get("sql", "").strip().split(None, 1)
+            verb = head[0].upper() if head else ""
+            if verb == "BEGIN":
+                self._in_txn = True
+            elif verb in ("COMMIT", "ROLLBACK"):
+                self._in_txn = False
         if "snapshot" in response:
             self.last_snapshot = response["snapshot"]
+        if "applied_csn" in response:
+            self.last_applied_csn = response["applied_csn"]
         return decode_result(response["result"]) if "result" in response else None
 
-    async def execute(self, sql: str) -> Any:
+    # -- public API -----------------------------------------------------
+
+    async def execute(
+        self,
+        sql: str,
+        *,
+        min_csn: Optional[int] = None,
+        wait: Optional[float] = None,
+    ) -> Any:
         """Run one statement; returns a :class:`ClientResult`, a row
-        count, a list (CALL result sets), text, or ``None``."""
-        return await self._roundtrip({"op": "execute", "sql": sql})
+        count, a list (CALL result sets), text, or ``None``.
+
+        Against a standby, ``min_csn`` demands read-your-writes: the
+        statement runs only once the replica has applied at least that
+        commit sequence number, waiting up to ``wait`` seconds.
+        """
+        message: dict[str, Any] = {"op": "execute", "sql": sql}
+        if min_csn is not None:
+            message["min_csn"] = min_csn
+            if wait is not None:
+                message["wait"] = wait
+        return await self._roundtrip(message)
 
     async def set_timeout(self, seconds: Optional[float]) -> None:
         """Set (or with ``None`` clear) this session's statement
         deadline; other sessions are unaffected."""
         await self._roundtrip({"op": "set", "timeout": seconds})
+        self._settings["timeout"] = seconds
 
     async def set_strategy(self, strategy: str) -> None:
         """Set this session's sequenced slicing strategy."""
         await self._roundtrip({"op": "set", "strategy": strategy})
+        self._settings["strategy"] = strategy
 
     async def ping(self) -> None:
         await self._roundtrip({"op": "ping"})
 
     async def close(self) -> None:
         """Polite shutdown: quit, then close the transport."""
+        if self._writer is None:
+            return
         try:
-            await self._roundtrip({"op": "quit"})
+            await self.request({"op": "quit"}, retryable=False)
         except (ConnectionError, FrameError, OSError):
             pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writer = None
+        self._framed = None
 
     async def __aenter__(self) -> "ReproClient":
         return self

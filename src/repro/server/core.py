@@ -21,7 +21,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
 from repro.sqlengine.errors import ExecutionError, SqlError
-from repro.server.protocol import FrameError, encode_frame, encode_result, read_frame
+from repro.server.protocol import (
+    FrameError,
+    FramedReader,
+    encode_frame,
+    encode_result,
+)
 from repro.server.session import ServerSession
 
 
@@ -44,6 +49,11 @@ class ReproServer:
         self._connections: set = set()
         self._session_seq = 0
         self._closing = False
+        # replication: a ReplicationSource is created lazily when the
+        # first repl_* op arrives (primary role); `standby` is installed
+        # by StandbyManager.start (standby role)
+        self._replication = None
+        self.standby = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -65,6 +75,8 @@ class ReproServer:
         """Graceful drain: no new connections, in-flight statements
         finish, sessions tear down, then the worker stops."""
         self._closing = True
+        if self.standby is not None:
+            await self.standby.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -100,6 +112,7 @@ class ReproServer:
             return
         self._session_seq += 1
         name = f"client-{self._session_seq}"
+        framed = FramedReader(reader)
         try:
             session = await self._open_session(name)
         except ExecutionError as exc:
@@ -110,10 +123,12 @@ class ReproServer:
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    request = await framed.read()
                 except FrameError as exc:
                     # a torn or oversized frame poisons the stream:
-                    # report once, then drop the connection
+                    # report once (with the stream offset the bad frame
+                    # began at), then drop the connection
+                    self.db.obs.inc("server.frame_errors", 1)
                     await self._send(writer, {
                         "ok": False, "error": str(exc), "sqlstate": None,
                     })
@@ -121,6 +136,8 @@ class ReproServer:
                 if request is None:
                     break  # clean EOF
                 response = await self._dispatch(session, request)
+                if "rid" in request:
+                    response["rid"] = request["rid"]
                 if not await self._send(writer, response):
                     break
                 if request.get("op") == "quit":
@@ -136,6 +153,22 @@ class ReproServer:
             writer.write(encode_frame(message))
             await writer.drain()
             return True
+        except FrameError as exc:
+            # the *response* overflowed the frame cap: report a typed
+            # error in its place instead of dying in the drain path
+            fallback = {
+                "ok": False,
+                "error": f"response too large for the wire: {exc}",
+                "sqlstate": "54000",
+            }
+            if "rid" in message:
+                fallback["rid"] = message["rid"]
+            try:
+                writer.write(encode_frame(fallback))
+                await writer.drain()
+                return True
+            except (ConnectionError, OSError):
+                return False
         except (ConnectionError, OSError):
             return False
 
@@ -154,6 +187,15 @@ class ReproServer:
 
     # -- request dispatch ------------------------------------------------
 
+    def _replication_source(self):
+        if self._replication is None:
+            from repro.server.replication import ReplicationSource
+
+            self._replication = ReplicationSource(
+                self.db, asyncio.get_running_loop()
+            )
+        return self._replication
+
     async def _dispatch(self, session: ServerSession, request: dict) -> dict:
         op = request.get("op")
         if op == "execute":
@@ -164,19 +206,38 @@ class ReproServer:
                     "error": "execute needs a 'sql' string",
                     "sqlstate": None,
                 }
+            min_csn = request.get("min_csn")
+            if min_csn is not None and self.standby is not None:
+                timeout = float(request.get("wait") or 5.0)
+                if not await self.standby.wait_applied(min_csn, timeout):
+                    return {
+                        "ok": False,
+                        "error": (
+                            f"standby lag: applied_csn"
+                            f" {self.standby.applier.applied_csn} has not"
+                            f" reached min_csn {min_csn} within {timeout}s"
+                        ),
+                        "sqlstate": "55000",
+                        "applied_csn": self.standby.applier.applied_csn,
+                    }
             try:
-                result, snapshot = await self._db(session.run_statement, sql)
+                result, snapshot, applied = await self._db(
+                    session.run_statement, sql
+                )
             except SqlError as exc:
                 return {
                     "ok": False,
                     "error": str(exc),
                     "sqlstate": getattr(exc, "sqlstate", None),
                 }
-            return {
+            response = {
                 "ok": True,
                 "result": encode_result(result),
                 "snapshot": snapshot,
             }
+            if applied is not None:
+                response["applied_csn"] = applied
+            return response
         if op == "set":
             try:
                 kwargs = {}
@@ -196,8 +257,80 @@ class ReproServer:
             }
         if op == "quit":
             return {"ok": True, "result": {"kind": "ok"}}
+        if op in ("repl_handshake", "repl_wal", "repl_snapshot",
+                  "repl_fingerprint", "repl_status"):
+            return await self._dispatch_replication(op, request)
+        if op == "promote":
+            return await self._promote()
         return {
             "ok": False,
             "error": f"unknown op {op!r}",
             "sqlstate": None,
+        }
+
+    async def _dispatch_replication(self, op: str, request: dict) -> dict:
+        from repro.sqlengine.errors import ReplicationError
+
+        if op == "repl_status" and self.standby is not None:
+            return {"ok": True, **self.standby.status()}
+        if self.db.durability is None:
+            return {
+                "ok": False,
+                "error": "replication requires a durable store"
+                         " (serve with --db)",
+                "sqlstate": None,
+            }
+        try:
+            source = self._replication_source()
+            if op == "repl_handshake":
+                payload = await self._db(
+                    source.handshake,
+                    request.get("generation"),
+                    request.get("offset"),
+                )
+            elif op == "repl_wal":
+                generation = request.get("generation")
+                offset = request.get("offset")
+                wait = float(request.get("wait") or 0.0)
+                payload = await self._db(source.wal_chunk, generation, offset)
+                if wait > 0 and not payload.get("resync") and not payload["data"]:
+                    # long-poll: park on the loop until a commit lands
+                    await source.wait_for_commit(wait)
+                    payload = await self._db(
+                        source.wal_chunk, generation, offset
+                    )
+            elif op == "repl_snapshot":
+                payload = await self._db(
+                    source.snapshot_chunk, request.get("offset", 0)
+                )
+            elif op == "repl_fingerprint":
+                payload = await self._db(source.fingerprints, self.stratum)
+            else:  # repl_status on a primary
+                payload = await self._db(source.status)
+                payload["role"] = "primary"
+            return {"ok": True, **payload}
+        except (ReplicationError, SqlError, OSError, ValueError) as exc:
+            return {"ok": False, "error": str(exc), "sqlstate": None}
+
+    async def _promote(self) -> dict:
+        from repro.sqlengine.errors import ReplicationError
+
+        if self.standby is None:
+            return {
+                "ok": False,
+                "error": "this node is not a standby",
+                "sqlstate": None,
+            }
+        standby = self.standby
+        try:
+            await standby.stop()  # no frames may land mid-promotion
+            generation = await self._db(standby.applier.promote)
+        except (ReplicationError, SqlError) as exc:
+            return {"ok": False, "error": str(exc), "sqlstate": None}
+        self.standby = None  # writes flow; repl ops now serve as primary
+        return {
+            "ok": True,
+            "result": {"kind": "ok"},
+            "generation": generation,
+            "applied_csn": standby.applier.applied_csn,
         }

@@ -28,7 +28,28 @@ _HEADER = struct.Struct(">I")
 
 
 class FrameError(Exception):
-    """A malformed, torn, or oversized frame."""
+    """A malformed, torn, or oversized frame.
+
+    ``offset`` (when known) is the byte offset into the stream at which
+    the offending frame began, so a malformed peer is diagnosable from
+    the server log instead of leaving an opaque traceback in the drain
+    path.
+    """
+
+    def __init__(self, message: str, offset: Optional[int] = None) -> None:
+        if offset is not None:
+            message = f"{message} (stream offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class ConnectionClosed(FrameError):
+    """The transport dropped: clean or torn EOF, or an I/O error.
+
+    Distinguished from plain :class:`FrameError` (a *protocol*
+    violation) so the client can tell "the link died — maybe retry"
+    from "the peer is speaking garbage — don't".
+    """
 
 
 def encode_frame(message: dict) -> bytes:
@@ -42,6 +63,75 @@ def encode_frame(message: dict) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
+class FramedReader:
+    """A frame reader that tracks its cumulative stream offset.
+
+    Short reads never surface here: ``StreamReader.readexactly``
+    assembles full reads from partial ones, and the event loop retries
+    ``EINTR``-interrupted syscalls internally (PEP 475).  What this
+    wrapper adds is *attribution*: every torn, oversized, or
+    undecodable frame raises :class:`FrameError` carrying the byte
+    offset at which the bad frame began, and transport ``OSError``s
+    surface as typed :class:`ConnectionClosed` instead of leaking
+    asyncio tracebacks out of the server's drain path.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self.max_bytes = max_bytes
+        self.offset = 0  # bytes consumed from the stream so far
+
+    async def read(self) -> Optional[dict]:
+        """Read one frame; ``None`` on clean EOF between frames."""
+        start = self.offset
+        try:
+            header = await self._reader.readexactly(_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            self.offset += len(exc.partial)
+            raise ConnectionClosed(
+                "torn frame: connection closed mid-header", start
+            ) from exc
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"connection I/O error: {exc}", start
+            ) from exc
+        self.offset += _HEADER.size
+        (length,) = _HEADER.unpack(header)
+        if length > self.max_bytes:
+            raise FrameError(
+                f"frame of {length} bytes exceeds the"
+                f" {self.max_bytes}-byte limit",
+                start,
+            )
+        try:
+            payload = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            self.offset += len(exc.partial)
+            raise ConnectionClosed(
+                "torn frame: connection closed mid-payload", start
+            ) from exc
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"connection I/O error: {exc}", start
+            ) from exc
+        self.offset += length
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(
+                f"frame payload is not valid JSON: {exc}", start
+            ) from exc
+        if not isinstance(message, dict):
+            raise FrameError("frame payload must be a JSON object", start)
+        return message
+
+
 async def read_frame(
     reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
 ) -> Optional[dict]:
@@ -52,28 +142,7 @@ async def read_frame(
     caller decides whether that tears down the connection (server) or
     surfaces to the application (client).
     """
-    try:
-        header = await reader.readexactly(_HEADER.size)
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise FrameError("torn frame: connection closed mid-header") from exc
-    (length,) = _HEADER.unpack(header)
-    if length > max_bytes:
-        raise FrameError(
-            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
-        )
-    try:
-        payload = await reader.readexactly(length)
-    except asyncio.IncompleteReadError as exc:
-        raise FrameError("torn frame: connection closed mid-payload") from exc
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise FrameError(f"frame payload is not valid JSON: {exc}") from exc
-    if not isinstance(message, dict):
-        raise FrameError("frame payload must be a JSON object")
-    return message
+    return await FramedReader(reader, max_bytes).read()
 
 
 # -- result coding ---------------------------------------------------------

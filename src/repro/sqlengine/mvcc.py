@@ -40,7 +40,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.sqlengine.errors import ExecutionError, SerializationError
+from repro.sqlengine.errors import (
+    ExecutionError,
+    ReadOnlyError,
+    SerializationError,
+)
 from repro.sqlengine.storage import Table
 
 
@@ -71,6 +75,11 @@ class MvccManager:
         self.multi = False
         # pinned snapshot csn -> number of transactions pinned at it
         self.pins: dict[int, int] = {}
+        # standby mode: only the root session (the replication applier)
+        # may claim tables for writing; reader sessions get a typed
+        # 25006.  Schema claims stay allowed — serving a sequenced query
+        # may lazily install its transform routine.
+        self.read_only = False
         self.schema = _SchemaResource()
         # tables (and the schema resource) holding live version chains
         self._chained: set = set()
@@ -150,6 +159,15 @@ class MvccManager:
         """
         if not self.multi or resource.temporary:
             return
+        if (
+            self.read_only
+            and resource is not self.schema
+            and txn is not self.db.root_txn
+        ):
+            raise ReadOnlyError(
+                f"cannot write to {resource.name}: this node is a read-only"
+                " standby (25006)"
+            )
         write_set = txn.write_set
         if resource in write_set:
             return

@@ -43,8 +43,14 @@ from repro.sqlengine.wal import (
 )
 
 
-def recover(manager) -> dict[str, Any]:
-    """Run recovery for ``manager``; returns a small report dict."""
+def recover(manager, replay_cap: "int | None" = None) -> dict[str, Any]:
+    """Run recovery for ``manager``; returns a small report dict.
+
+    ``replay_cap`` stops redo after the committed transaction whose
+    sequence number equals the cap (later commits are left on disk, not
+    applied, and nothing is truncated) — the cross-node scrubber uses it
+    to materialize a store *as of* a common commit sequence.
+    """
     from repro.sqlengine.checkpoint import load_snapshot
 
     db = manager.db
@@ -55,6 +61,14 @@ def recover(manager) -> dict[str, Any]:
             with tracer.span("recovery.snapshot") as span:
                 snapshot = load_snapshot(manager.snapshot_path)
                 if snapshot is not None:
+                    if (
+                        replay_cap is not None
+                        and snapshot.get("txn_counter", 0) > replay_cap
+                    ):
+                        raise WalError(
+                            f"snapshot is already past replay cap {replay_cap}"
+                            f" (txn_counter {snapshot.get('txn_counter', 0)})"
+                        )
                     _apply_snapshot(manager, snapshot)
                     manager.generation = snapshot["generation"]
                     manager.txn_counter = snapshot.get("txn_counter", 0)
@@ -63,7 +77,7 @@ def recover(manager) -> dict[str, Any]:
                     generation=manager.generation,
                 )
             with tracer.span("recovery.replay") as span:
-                report = _replay_wal(manager)
+                report = _replay_wal(manager, replay_cap)
                 span.set(**report)
     finally:
         manager.replaying = False
@@ -134,7 +148,7 @@ def _registry_for(manager, dim: str):
 # ---------------------------------------------------------------------------
 
 
-def _replay_wal(manager) -> dict[str, Any]:
+def _replay_wal(manager, replay_cap: "int | None" = None) -> dict[str, Any]:
     db = manager.db
     report = {
         "records_replayed": 0,
@@ -174,6 +188,10 @@ def _replay_wal(manager) -> dict[str, Any]:
             in_txn = True
         elif tag == "commit":
             if in_txn:
+                if replay_cap is not None and record[1] > replay_cap:
+                    pending = []
+                    in_txn = False
+                    break  # commits are sequence-ordered: nothing more applies
                 for entry in pending:
                     _apply_record(manager, entry)
                     report["records_replayed"] += 1
@@ -189,7 +207,7 @@ def _replay_wal(manager) -> dict[str, Any]:
         # writer) are ignored rather than trusted
         offset = record_end
     dropped = len(data) - committed_end
-    if dropped:
+    if dropped and replay_cap is None:
         report["bytes_truncated"] = dropped
         manager.truncate_wal_to(committed_end)
     _report_metrics(db, report)

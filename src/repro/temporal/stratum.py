@@ -154,6 +154,7 @@ class TemporalStratum:
         now: Optional[Date] = None,
         sync: bool = True,
         auto_checkpoint_bytes: Optional[int] = None,
+        replay_cap: Optional[int] = None,
     ) -> "TemporalStratum":
         """Open (or create) a durable temporal database at ``path``.
 
@@ -163,7 +164,10 @@ class TemporalStratum:
         """
         stratum = cls(Database(now=now))
         stratum.attach_durability(
-            path, sync=sync, auto_checkpoint_bytes=auto_checkpoint_bytes
+            path,
+            sync=sync,
+            auto_checkpoint_bytes=auto_checkpoint_bytes,
+            replay_cap=replay_cap,
         )
         return stratum
 
@@ -173,6 +177,7 @@ class TemporalStratum:
         *,
         sync: bool = True,
         auto_checkpoint_bytes: Optional[int] = None,
+        replay_cap: Optional[int] = None,
     ):
         """Bind a WAL + snapshot directory to the underlying database,
         registering this stratum so registry changes are durable."""
@@ -181,6 +186,7 @@ class TemporalStratum:
             stratum=self,
             sync=sync,
             auto_checkpoint_bytes=auto_checkpoint_bytes,
+            replay_cap=replay_cap,
         )
 
     def checkpoint(self) -> int:

@@ -1,0 +1,229 @@
+"""Differential replication fuzzing: chaotic links, exact convergence.
+
+Each seeded schedule runs the crash-fuzz workload on a durable primary,
+then ships the primary's WAL to a real :class:`StandbyApplier` through
+a :class:`ReplicationChaos` link filter (torn, duplicated, stalled, and
+reordered deliveries), mimicking the :class:`StandbyManager` delivery
+loop byte for byte — but in-process, so a hundred schedules stay fast.
+
+The oracle is *serial replay at the reported csn*: a copy of the
+primary's store recovered with ``replay_cap = applied_csn`` must have
+identical per-table fingerprints, and a panel of queries must return
+byte-identical results on both sides.  About half the schedules kill
+the primary mid-stream and promote the standby, which must then accept
+writes on a bumped generation.  Full-stream runs are additionally
+checked against an independent in-memory reference run.
+
+``TAUPSM_REPL_FUZZ_RUNS`` overrides the schedule count (CI sweeps 100+).
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.server.replication import (
+    StandbyApplier,
+    fingerprint_divergence,
+    store_fingerprints,
+)
+from repro.sqlengine.errors import ReplicationError
+from repro.sqlengine.resilience import ReplicationChaos
+from repro.temporal.stratum import TemporalStratum
+from tests.integration.test_crash_recovery_fuzz import (
+    SETUP,
+    apply_op,
+    build_workload,
+    fingerprint,
+    reference_fingerprints,
+)
+
+RUNS = int(os.environ.get("TAUPSM_REPL_FUZZ_RUNS", "100"))
+
+QUERY_PANEL = (
+    "SELECT name, dept, salary FROM emp",
+    "VALIDTIME SELECT name, salary FROM emp",
+    "SELECT dept, total FROM payroll",
+    "SELECT COUNT(*) FROM audit",
+)
+
+
+def _query_bytes(stratum, sql):
+    result = stratum.execute(sql)
+    rows = sorted(map(repr, result.rows))
+    return repr((result.columns, rows)).encode("utf-8")
+
+
+def ship_with_chaos(wal_bytes, applier, chaos, chunk_size):
+    """The StandbyManager delivery loop, minus the sockets.
+
+    Chunks are cut from the primary's WAL at ``applied_offset + tail``
+    (so commit groups larger than one chunk accumulate), pushed through
+    the chaos filter, and integrated exactly like
+    ``StandbyManager._deliver`` — duplicates trimmed, gaps treated as a
+    recoverable error that re-requests from the applied offset.
+    Returns the number of gap recoveries.  Stops early when the chaos
+    schedule says the primary dies.
+    """
+    tail = b""
+    gaps = 0
+    for _ in range(100_000):
+        if chaos.primary_should_die:
+            break
+        start = applier.applied_offset + len(tail)
+        if start >= len(wal_bytes):
+            break
+        chunk = wal_bytes[start:start + chunk_size]
+        for off, piece in chaos(start, chunk):
+            buffered_end = applier.applied_offset + len(tail)
+            if off > buffered_end:
+                # gap: drop the buffer and re-request, like a reconnect
+                tail = b""
+                gaps += 1
+                break
+            skip = buffered_end - off
+            if skip >= len(piece):
+                continue  # duplicate of bytes already buffered/applied
+            tail += piece[skip:]
+            base = applier.applied_offset
+            if applier.feed(base, tail):
+                tail = tail[applier.applied_offset - base:]
+    else:
+        raise AssertionError(f"no progress after 100k rounds: {chaos.describe()}")
+    return gaps
+
+
+def _seed_list():
+    return list(range(1, RUNS + 1))
+
+
+@pytest.mark.parametrize("seed", _seed_list())
+def test_standby_matches_serial_replay_under_link_chaos(seed, tmp_path):
+    ops = build_workload(seed, length=14)
+    kill = seed % 2 == 0  # half the schedules lose the primary mid-stream
+    chaos = ReplicationChaos(
+        seed,
+        perturb_probability=0.5,
+        kill_primary_after=(6 + seed % 13) if kill else None,
+    )
+
+    # the primary's run (no auto-checkpoint: generation stays 0)
+    primary = TemporalStratum.open(
+        tmp_path / "p", auto_checkpoint_bytes=1 << 40
+    )
+    for sql in SETUP:
+        primary.execute(sql)
+    for op in ops:
+        apply_op(primary, op)
+    primary_seq = primary.db.durability.txn_counter
+    primary.close(checkpoint=False)
+    wal_bytes = (tmp_path / "p" / "wal.log").read_bytes()
+
+    # the standby: a fresh gen-0 store fed through the chaotic link
+    standby = TemporalStratum.open(tmp_path / "s")
+    applier = StandbyApplier(standby)
+    applier.enter_replica_mode()
+    chunk_size = 192 + (seed * 97) % 2048  # groups often span chunks
+    ship_with_chaos(wal_bytes, applier, chaos, chunk_size)
+    applied_csn = applier.applied_csn
+    assert not applier.poisoned, chaos.describe()
+    if not kill:
+        assert applied_csn == primary_seq, chaos.describe()
+
+    # oracle: serial replay of the primary's own store, capped at the
+    # csn the standby reports
+    replay_dir = tmp_path / "replay"
+    shutil.copytree(tmp_path / "p", replay_dir)
+    replay = TemporalStratum.open(replay_dir, replay_cap=applied_csn)
+    try:
+        divergence = fingerprint_divergence(
+            store_fingerprints(standby.db, standby),
+            store_fingerprints(replay.db, replay),
+        )
+        assert divergence == [], f"{chaos.describe()}: {divergence}"
+        for sql in QUERY_PANEL:
+            assert _query_bytes(standby, sql) == _query_bytes(replay, sql), (
+                f"{chaos.describe()}: {sql!r} diverged at csn {applied_csn}"
+            )
+        if not kill:
+            # full catch-up must also equal an independent in-memory
+            # run of the same statements
+            assert fingerprint(standby) == reference_fingerprints(ops)[-1]
+    finally:
+        replay.close(checkpoint=False)
+
+    if kill:
+        # failover: promote, bump the generation, accept writes
+        generation = applier.promote()
+        assert generation == 1
+        assert not standby.db.mvcc.read_only
+        standby.execute("INSERT INTO audit VALUES ('post-promote')")
+        count = standby.execute(
+            "SELECT COUNT(*) FROM audit WHERE note = 'post-promote'"
+        )
+        assert count.rows[0][0] == 1
+    standby.close(checkpoint=False)
+
+
+def test_duplicate_and_stale_batches_never_double_apply(tmp_path):
+    """Deterministic spot-check: every batch delivered three times (one
+    stale replay from offset zero each round) applies exactly once."""
+    ops = build_workload(3, length=10)
+    primary = TemporalStratum.open(
+        tmp_path / "p", auto_checkpoint_bytes=1 << 40
+    )
+    for sql in SETUP:
+        primary.execute(sql)
+    for op in ops:
+        apply_op(primary, op)
+    primary.close(checkpoint=False)
+    wal_bytes = (tmp_path / "p" / "wal.log").read_bytes()
+
+    standby = TemporalStratum.open(tmp_path / "s")
+    applier = StandbyApplier(standby)
+    applier.enter_replica_mode()
+    step = 777
+    for start in range(0, len(wal_bytes), step):
+        chunk = wal_bytes[start:start + min(step, len(wal_bytes) - start)]
+        fed = wal_bytes[:start + len(chunk)]
+        applier.feed(0, fed)          # stale full replay
+        base = applier.applied_offset
+        if base <= start:
+            applier.feed(base, wal_bytes[base:start + len(chunk)])
+        applier.feed(0, fed)          # and again
+    assert applier.applied_offset == len(wal_bytes)
+    assert fingerprint(standby) == reference_fingerprints(ops)[-1]
+    standby.close(checkpoint=False)
+
+
+def test_replication_chaos_is_deterministic():
+    runs = []
+    for _ in range(2):
+        chaos = ReplicationChaos(1234, perturb_probability=0.9)
+        deliveries = [chaos(i * 10, bytes(10)) for i in range(50)]
+        runs.append((chaos.actions, [
+            [(off, len(piece)) for off, piece in batch]
+            for batch in deliveries
+        ]))
+    assert runs[0] == runs[1]
+    assert set(runs[0][0]) > {"pass"}  # p=0.9 actually perturbs
+
+
+def test_gap_raises_recoverable_error_and_resume_heals(tmp_path):
+    primary = TemporalStratum.open(
+        tmp_path / "p", auto_checkpoint_bytes=1 << 40
+    )
+    for sql in SETUP:
+        primary.execute(sql)
+    primary.close(checkpoint=False)
+    wal_bytes = (tmp_path / "p" / "wal.log").read_bytes()
+
+    standby = TemporalStratum.open(tmp_path / "s")
+    applier = StandbyApplier(standby)
+    applier.enter_replica_mode()
+    with pytest.raises(ReplicationError):
+        applier.feed(applier.applied_offset + 64, wal_bytes[64:])
+    assert not applier.poisoned  # a gap is recoverable, not poison
+    applier.feed(applier.applied_offset, wal_bytes[applier.applied_offset:])
+    assert applier.applied_offset == len(wal_bytes)
+    standby.close(checkpoint=False)

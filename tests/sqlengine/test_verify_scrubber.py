@@ -143,6 +143,50 @@ def test_mismatched_ahead_generation_fails(store):
     assert any("ahead of the snapshot" in p for p in report.problems)
 
 
+def test_ahead_generation_snapshot_recovers_to_snapshot_state(store, tmp_path):
+    """A snapshot from a *later* generation than the WAL beside it wins:
+    verify notes the stale log, and recovery restores exactly the
+    snapshot's state instead of replaying the older generation's tail."""
+    old_wal = tmp_path / "old.wal"
+    shutil.copy(wal_path(store), old_wal)
+    db = Database.open(store)
+    db.execute("INSERT INTO t VALUES (40)")
+    db.checkpoint()  # snapshot generation moves ahead of old_wal's
+    expected = sorted(r[0] for r in db.table("t").rows)
+    db.close(checkpoint=False)
+    shutil.copy(old_wal, wal_path(store))
+    report = verify_store(store)
+    assert report.ok and report.stale_wal
+    db = Database.open(store)
+    try:
+        assert sorted(r[0] for r in db.table("t").rows) == expected
+    finally:
+        db.close(checkpoint=False)
+    # recovery did not resurrect the stale log as live history
+    assert verify_store(store).ok
+
+
+def test_quarantine_sidecar_survives_clean_recovery(store):
+    """The forensic sidecar is evidence: recovery, checkpoints, and a
+    re-verify of the healed store must all leave it untouched."""
+    data = wal_path(store).read_bytes()
+    wal_path(store).write_bytes(data[:-3])
+    report = verify_store(store, quarantine=True)
+    assert report.ok and report.quarantined_to is not None
+    sidecar = store / report.quarantined_to.rsplit("/", 1)[-1]
+    evidence = sidecar.read_bytes()
+    db = Database.open(store)  # clean recovery over the truncated WAL
+    db.execute("INSERT INTO t VALUES (99)")
+    db.checkpoint()
+    db.close()
+    assert sidecar.exists()
+    assert sidecar.read_bytes() == evidence
+    followup = verify_store(store)
+    assert followup.ok
+    # and a second quarantine pass has nothing to move
+    assert verify_store(store, quarantine=True).quarantined_to is None
+
+
 def test_empty_wal_with_garbage_has_no_intact_frames(store):
     wal_path(store).write_bytes(b"\x00garbage\xff" * 4)
     report = verify_store(store)
