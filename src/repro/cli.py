@@ -15,7 +15,8 @@ Meta-commands (a leading dot):
 ``.routines``      list stored routines
 ``.now [DATE]``    show or set CURRENT_DATE
 ``.clock [DATE]``  show or set the transaction clock (``.clock none`` resets)
-``.strategy S``    sequenced strategy: ``max`` / ``perst`` / ``auto``
+``.strategy S``    sequenced strategy: ``max`` / ``perst`` / ``seqset`` /
+                   ``auto`` / ``cost`` (``SET STRATEGY S`` works as SQL too)
 ``.transform SQL`` show the conventional SQL a statement transforms into
 ``.load DS SIZE``  load a τPSM dataset (e.g. ``.load DS1 SMALL``)
 ``.stats``         engine counters
@@ -68,7 +69,12 @@ from repro.obs.explain import ExplainResult
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.values import Date, Null
-from repro.temporal import SlicingStrategy, TemporalResult, TemporalStratum
+from repro.temporal import (
+    SlicingStrategy,
+    TemporalResult,
+    TemporalStratum,
+    parse_set_strategy,
+)
 
 PROMPT = "taupsm> "
 CONTINUATION = "   ...> "
@@ -169,6 +175,10 @@ class Shell:
     def run_sql(self, sql: str) -> str:
         """Execute one statement, returning rendered output or an error."""
         try:
+            chosen = parse_set_strategy(sql)
+            if chosen is not None:
+                self.strategy = chosen
+                return f"sequenced strategy = {chosen.value}"
             result = self.stratum.execute(sql, strategy=self.strategy)
         except SqlError as exc:
             return f"error: {exc}"
@@ -273,7 +283,7 @@ class Shell:
             try:
                 self.strategy = SlicingStrategy(argument.lower())
             except ValueError:
-                return "strategy must be one of: max, perst, auto"
+                return "strategy must be one of: max, perst, seqset, auto, cost"
         return f"sequenced strategy = {self.strategy.value}"
 
     def _transform(self, argument: str) -> str:
@@ -559,7 +569,8 @@ def run_subcommand(argv: list[str]) -> int:
             help="open a durable database directory (recovers on open)",
         )
         p.add_argument(
-            "--strategy", default="auto", choices=["auto", "max", "perst", "cost"],
+            "--strategy", default="auto",
+            choices=["auto", "max", "perst", "seqset", "cost"],
         )
         if name == "explain":
             p.add_argument("--analyze", action="store_true")

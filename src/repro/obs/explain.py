@@ -89,6 +89,30 @@ def describe_plan(plan: Any, depth: int = 0) -> list[str]:
         return [pad + f"Update {plan.table}"]
     if isinstance(plan, planner.DeletePlan):
         return [pad + f"Delete {plan.table}"]
+    if isinstance(plan, planner.IntervalJoin):
+        shape = []
+        if plan.residual_conjuncts:
+            shape.append(f"residual: {plan.residual_conjuncts} conjuncts")
+        if plan.distinct:
+            shape.append("distinct per period")
+        suffix = f" [{'; '.join(shape)}]" if shape else ""
+        lines = [pad + f"IntervalJoin ({len(plan.inputs)} inputs{suffix})"]
+        for aligned in plan.inputs:
+            lines.extend(describe_plan(aligned, depth + 1))
+        return lines
+    if isinstance(plan, planner.TemporalAlign):
+        alias = f" AS {plan.alias}" if plan.alias != plan.name.lower() else ""
+        if plan.temporal:
+            begin_column, end_column = plan.pair
+            head = f"TemporalAlign {plan.name}{alias} ({begin_column}/{end_column})"
+        else:
+            head = f"TemporalAlign {plan.name}{alias} (non-temporal: every period)"
+        note = (
+            f" (vectorized filter: {plan.kernel_count} kernels)"
+            if plan.kernel_count
+            else ""
+        )
+        return [pad + head + note]
     return [pad + type(plan).__name__]
 
 
@@ -279,9 +303,15 @@ def _explain_sequenced(
             "plan: sequenced modification (paper §VI close/split/reinsert)"
         )
         return lines
+    other_registry = (
+        stratum.registry if registry is stratum.tt_registry
+        else stratum.tt_registry
+    )
     # resolve AUTO / COST exactly the way execution would
     if strategy is SlicingStrategy.AUTO:
-        choice = choose_strategy(stmt, db, registry, context)
+        choice = choose_strategy(
+            stmt, db, registry, context, other_registry=other_registry
+        )
         strategy = choice.strategy
         lines.append(
             f"strategy: {strategy.value}"
@@ -289,20 +319,38 @@ def _explain_sequenced(
         )
     elif strategy is SlicingStrategy.COST:
         from repro.temporal.heuristic import perst_applicable
+        from repro.temporal.seqset import seqset_applicable
 
         applicable, why = perst_applicable(stmt, db, registry)
-        if not applicable:
+        covered, _s_why = seqset_applicable(
+            stmt, db, registry, other_registry=other_registry
+        )
+        if not applicable and not covered:
             strategy = SlicingStrategy.MAX
             lines.append(f"strategy: max (cost model; PERST inapplicable: {why})")
         else:
-            estimate = estimate_costs(stmt, db, registry, context, obs=db.obs)
-            strategy = (
-                SlicingStrategy.PERST if estimate.prefers_perst
-                else SlicingStrategy.MAX
+            estimate = estimate_costs(
+                stmt, db, registry, context, obs=db.obs,
+                include_seqset=covered,
             )
+            candidates = [(estimate.max_cost, 0, SlicingStrategy.MAX)]
+            if applicable:
+                candidates.append(
+                    (estimate.perst_cost, 1, SlicingStrategy.PERST)
+                )
+            if covered and estimate.seqset_cost is not None:
+                candidates.append(
+                    (estimate.seqset_cost, 2, SlicingStrategy.SEQSET)
+                )
+            strategy = min(candidates)[2]
+            costs = (
+                f" max={estimate.max_cost:.4f} perst={estimate.perst_cost:.4f}"
+            )
+            if estimate.seqset_cost is not None:
+                costs += f" seqset={estimate.seqset_cost:.4f}"
             lines.append(
-                f"strategy: {strategy.value} (cost model [{estimate.mode}]:"
-                f" max={estimate.max_cost:.4f} perst={estimate.perst_cost:.4f})"
+                f"strategy: {strategy.value}"
+                f" (cost model [{estimate.mode}]:{costs})"
             )
     else:
         lines.append(f"strategy: {strategy.value} (requested)")
@@ -323,6 +371,29 @@ def _explain_sequenced(
     if indexed:
         state = "on" if db.interval_indexing_enabled else "off"
         lines.append(f"interval index [{state}]: {', '.join(indexed)}")
+    if strategy is SlicingStrategy.SEQSET:
+        from repro.temporal.seqset import SeqSetUnsupportedError, compile_seqset
+
+        try:
+            seqset_plan = compile_seqset(
+                db, registry, stmt, other_registry=other_registry
+            )
+        except SeqSetUnsupportedError as exc:
+            lines.append(f"seqset: fallback to max ({exc})")
+            strategy = SlicingStrategy.MAX
+        else:
+            lines.append(
+                f"constant periods: {slices} into {MAX_CP_TABLE}"
+                " (aligned in one set-oriented pass)"
+            )
+            lines.append("seqset plan:")
+            lines.extend("  " + line for line in describe_plan(seqset_plan.root))
+            lines.append("transformed SQL:")
+            lines.extend(
+                "  " + line
+                for line in seqset_plan.select.to_sql().splitlines()
+            )
+            return lines
     if strategy is SlicingStrategy.MAX:
         result = transform_query_max(stmt, db.catalog, registry, MAX_CP_TABLE)
         lines.append(

@@ -13,7 +13,7 @@ from typing import Any, Optional
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.errors import ReadOnlyError
 from repro.sqlengine.parser import parse_statement
-from repro.temporal.stratum import SlicingStrategy
+from repro.temporal.stratum import SlicingStrategy, parse_set_strategy
 
 _UNSET = object()
 
@@ -82,6 +82,12 @@ class ServerSession:
         primary it is ``None``.
         """
         db = self.stratum.db
+        # session setting, not SQL: intercepted before the parser (the
+        # shell's `.strategy` equivalent for wire clients)
+        chosen = parse_set_strategy(sql)
+        if chosen is not None:
+            self.strategy = chosen
+            return f"sequenced strategy = {chosen.value}", db.mvcc.csn, None
         db.activate_txn(self.txn)
         mvcc = db.mvcc
         txn = self.txn

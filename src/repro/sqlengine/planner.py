@@ -238,6 +238,52 @@ class _IntervalScan(_Scan):
         self.pair = pair
 
 
+class TemporalAlign:
+    """SEQ-SET plan node: one FROM table's rows aligned onto the
+    constant-period grid in a single pass (interval-index overlap probe
+    against the temporal context, vectorized single-table filters, then
+    a bisect of each row's period onto the sorted period begins).
+
+    Execution lives in :mod:`repro.temporal.seqset`; the node exists at
+    the planner layer so EXPLAIN renders the access path alongside the
+    engine's scan nodes.
+    """
+
+    __slots__ = ("name", "alias", "pair", "kernel_count", "temporal")
+
+    def __init__(
+        self,
+        name: str,
+        alias: str,
+        pair: "tuple | None",
+        kernel_count: int,
+        temporal: bool,
+    ) -> None:
+        self.name = name
+        self.alias = alias
+        self.pair = pair
+        self.kernel_count = kernel_count
+        self.temporal = temporal
+
+
+class IntervalJoin:
+    """SEQ-SET plan node: period-major nested-loop join of aligned
+    inputs (FROM order, candidate positions ascending — MAX's emission
+    order), with one compiled residual predicate per combination."""
+
+    __slots__ = ("inputs", "residual_conjuncts", "distinct")
+
+    def __init__(
+        self,
+        inputs: list,
+        residual_conjuncts: int,
+        distinct: bool,
+    ) -> None:
+        self.inputs = inputs
+        self.residual_conjuncts = residual_conjuncts
+        self.distinct = distinct
+
+
 def _static_interval_pair(
     executor: Executor,
     table,

@@ -17,12 +17,18 @@ from repro.temporal.errors import (
     TemporalError,
 )
 from repro.temporal.period import Period
-from repro.temporal.stratum import SlicingStrategy, TemporalResult, TemporalStratum
+from repro.temporal.stratum import (
+    SlicingStrategy,
+    TemporalResult,
+    TemporalStratum,
+    parse_set_strategy,
+)
 
 __all__ = [
     "TemporalStratum",
     "TemporalResult",
     "SlicingStrategy",
+    "parse_set_strategy",
     "Period",
     "TemporalError",
     "PerStatementInapplicableError",

@@ -86,10 +86,48 @@ def choose_strategy(
     registry: TemporalRegistry,
     context: Period,
     data_rows: Optional[int] = None,
+    other_registry: Optional[TemporalRegistry] = None,
 ) -> StrategyChoice:
-    """Apply the §VII-F heuristic."""
+    """Apply the §VII-F heuristic (extended with the SEQ-SET rule) and
+    bump the ``heuristic.choice.<strategy>`` counter for the winner."""
+    choice = _choose_strategy(
+        stmt, db, registry, context, data_rows, other_registry
+    )
+    db.obs.inc(f"heuristic.choice.{choice.strategy.value}")
+    return choice
+
+
+def _choose_strategy(
+    stmt: ast.Statement,
+    db: Database,
+    registry: TemporalRegistry,
+    context: Period,
+    data_rows: Optional[int],
+    other_registry: Optional[TemporalRegistry],
+) -> StrategyChoice:
+    from repro.temporal.seqset import seqset_applicable
     from repro.temporal.stratum import SlicingStrategy
 
+    # Rule (s), ahead of the paper's rules: a routine-free covered shape
+    # never needs the per-period loop at all — one set-oriented pass
+    # beats both MAX and PERST, with the cost model recording by how
+    # much (measured unit costs when the registry has samples).
+    covered, _why = seqset_applicable(
+        stmt, db, registry, other_registry=other_registry
+    )
+    if covered:
+        estimate = estimate_costs(
+            stmt, db, registry, context, obs=db.obs, include_seqset=True
+        )
+        return StrategyChoice(
+            SlicingStrategy.SEQSET,
+            "s",
+            "routine-free statement covered by the set-oriented plan"
+            f" (cost model [{estimate.mode}]:"
+            f" seqset={estimate.seqset_cost:.4f}"
+            f" max={estimate.max_cost:.4f}"
+            f" perst={estimate.perst_cost:.4f})",
+        )
     applicable, why = perst_applicable(stmt, db, registry)
     if not applicable:
         return StrategyChoice(
@@ -123,11 +161,15 @@ class CostEstimate:
     ``mode`` records which calibration produced the numbers:
     ``"static"`` (the hand-calibrated constants below) or ``"measured"``
     (per-slice / per-row timings observed by the metrics registry).
+
+    ``seqset_cost`` is filled only when the caller asked for it (the
+    statement is inside the SEQ-SET fragment); ``None`` otherwise.
     """
 
     max_cost: float
     perst_cost: float
     mode: str = "static"
+    seqset_cost: Optional[float] = None
 
     @property
     def prefers_perst(self) -> bool:
@@ -139,6 +181,10 @@ STATIC_PER_INVOCATION_ROW = 0.01
 STATIC_PERIOD_OVERHEAD = 0.05
 STATIC_PER_ROW = 0.02
 STATIC_CURSOR_PER_PERIOD_ROW = 0.002
+# SEQ-SET reads each row once through vectorized kernels (no per-row
+# interpreter work) and pays a small per-period emission step.
+STATIC_SEQSET_PER_ROW = 0.004
+STATIC_SEQSET_PERIOD_OVERHEAD = 0.005
 # Arbitration bands between the two calibrations.  The timer means
 # aggregate over *all* statements a database has executed, not just the
 # one being costed, so a measured gap can be an artifact of workload
@@ -160,6 +206,7 @@ def estimate_costs(
     context: Period,
     obs: Optional["MetricsRegistry"] = None,  # noqa: F821 - lazy type
     mode: str = "auto",
+    include_seqset: bool = False,
 ) -> CostEstimate:
     """Predict relative MAX/PERST cost from data statistics.
 
@@ -193,13 +240,37 @@ def estimate_costs(
     perst_cost = max(rows, 1) * STATIC_PER_ROW
     if cursors:
         perst_cost += periods * max(rows, 1) * STATIC_CURSOR_PER_PERIOD_ROW
+    static_seqset = (
+        max(rows, 1) * STATIC_SEQSET_PER_ROW
+        + periods * STATIC_SEQSET_PERIOD_OVERHEAD
+        if include_seqset
+        else None
+    )
+
+    def seqset_term(chosen_mode: str) -> Optional[float]:
+        """SEQ-SET's unit cost: measured per-row mean when the chosen
+        calibration is measured and its timer has samples, else static."""
+        if static_seqset is None:
+            return None
+        if chosen_mode == "measured" and obs is not None:
+            seqset_mean = obs.mean("stratum.seqset.row_seconds")
+            if seqset_mean is not None and seqset_mean > 0.0:
+                return max(rows, 1) * seqset_mean
+        return static_seqset
+
     if mode == "static" or obs is None:
-        return CostEstimate(max_cost=max_cost, perst_cost=perst_cost)
+        return CostEstimate(
+            max_cost=max_cost, perst_cost=perst_cost,
+            seqset_cost=seqset_term("static"),
+        )
     slice_mean = obs.mean("stratum.max.slice_seconds")
     row_mean = obs.mean("stratum.perst.row_seconds")
     if slice_mean is None or row_mean is None or row_mean <= 0.0:
         # no observations yet for one side: stay with the static model
-        return CostEstimate(max_cost=max_cost, perst_cost=perst_cost)
+        return CostEstimate(
+            max_cost=max_cost, perst_cost=perst_cost,
+            seqset_cost=seqset_term("static"),
+        )
     measured_max = periods * slice_mean
     measured_perst = max(rows, 1) * row_mean
     if cursors:
@@ -210,13 +281,20 @@ def estimate_costs(
     smaller = min(measured_max, measured_perst)
     if smaller <= 0.0 or max(measured_max, measured_perst) <= smaller * MEASURED_TIE_BAND:
         # inconclusive: keep the static numbers (and their decision)
-        return CostEstimate(max_cost=max_cost, perst_cost=perst_cost)
+        return CostEstimate(
+            max_cost=max_cost, perst_cost=perst_cost,
+            seqset_cost=seqset_term("static"),
+        )
     static_confident = max(max_cost, perst_cost) >= (
         min(max_cost, perst_cost) * STATIC_CONFIDENT_BAND
     )
     decisions_disagree = (measured_perst < measured_max) != (perst_cost < max_cost)
     if static_confident and decisions_disagree:
-        return CostEstimate(max_cost=max_cost, perst_cost=perst_cost)
+        return CostEstimate(
+            max_cost=max_cost, perst_cost=perst_cost,
+            seqset_cost=seqset_term("static"),
+        )
     return CostEstimate(
-        max_cost=measured_max, perst_cost=measured_perst, mode="measured"
+        max_cost=measured_max, perst_cost=measured_perst, mode="measured",
+        seqset_cost=seqset_term("measured"),
     )

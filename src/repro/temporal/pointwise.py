@@ -34,7 +34,10 @@ from repro.temporal.transform_util import (
 
 
 def add_point_conditions(
-    node: ast.Node, point: ast.Expression, registry: TemporalRegistry
+    node: ast.Node,
+    point: ast.Expression,
+    registry: TemporalRegistry,
+    skip: tuple = (),
 ) -> None:
     """Add overlap-at-point predicates to every SELECT under ``node``.
 
@@ -43,8 +46,14 @@ def add_point_conditions(
     associated from clause mentions a temporal table").  Temporal tables
     on the right side of a LEFT join take their condition in the ON
     clause so null-extension survives.
+
+    ``skip`` names Select nodes (by identity) to leave untouched —
+    SEQ-SET replaces the root select's overlap predicates with its
+    alignment operator but still point-transforms nested subqueries.
     """
     for select in selects_in(node):
+        if any(select is skipped for skipped in skip):
+            continue
         where_pairs, join_pairs = classify_from_sources(select)
         conditions = []
         for table_name, alias in where_pairs:

@@ -1,0 +1,480 @@
+"""Set-oriented sequenced evaluation (SEQ-SET).
+
+MAX evaluates a sequenced query once per constant period — thousands of
+engine round-trips on a long context.  Following Dignös/Glavic/Böhlen
+(*Snapshot Semantics for Temporal Multiset Relations*), a routine-free
+sequenced SELECT can instead be compiled once into a single set-oriented
+plan over the same constant-period grid:
+
+* **TemporalAlign** — each FROM table's rows are mapped onto the grid in
+  one pass: a row valid over ``[b, e)`` is alive in exactly the periods
+  whose begin point ``pb`` satisfies ``b <= pb < e`` (MAX's stab
+  predicate), which over the sorted period begins is the contiguous
+  index range ``[bisect_left(begins, b), bisect_left(begins, e))``.
+  Candidate rows come from the table's :class:`IntervalIndex` overlap
+  probe against the temporal context (NULL-bounded rows drop out by the
+  index's documented contract, exactly as a NULL comparison drops them
+  under MAX), and single-table conjuncts that have vectorized kernels
+  are applied **once** over the candidate set instead of once per
+  period.
+* **IntervalJoin** — the aligned inputs are combined period-major in
+  FROM order with candidate positions ascending, reproducing MAX's
+  nested-loop emission order byte for byte; multi-table conjuncts run as
+  one compiled residual predicate per combination.
+
+Rows are emitted per period (each aligned row is handled as one
+coalesced run of adjacent periods internally and expanded at emission),
+so results are row-identical to MAX, including DISTINCT (first
+occurrence per period) and column naming.
+
+Coverage is deliberately conservative: any statement shape outside the
+proven-identical fragment raises :class:`SeqSetUnsupportedError` at
+compile time (and :class:`SeqSetRuntimeFallback` when the vectorized
+path degrades at run time), and the stratum falls back to MAX — the
+fallback reproduces MAX's results *and errors* exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.engine import Database
+from repro.sqlengine.executor import (
+    Binding,
+    Env,
+    _contains_aggregate,
+    _split_conjuncts,
+)
+from repro.sqlengine.exprcompile import (
+    BatchFilter,
+    _batch_kernel,
+    compile_expression,
+)
+from repro.sqlengine.planner import IntervalJoin, TemporalAlign
+from repro.sqlengine.values import Date, sort_key, truth
+from repro.temporal import analysis
+from repro.temporal.errors import TemporalError
+from repro.temporal.period import Period
+from repro.temporal.pointwise import add_point_conditions
+from repro.temporal.schema import TemporalRegistry
+from repro.temporal.transform_util import and_all, clone, unique_name
+
+CP_COLMAP = {"begin_time": 0, "end_time": 1}
+
+
+class SeqSetUnsupportedError(TemporalError):
+    """The statement shape is outside the SEQ-SET fragment."""
+
+
+class SeqSetRuntimeFallback(Exception):
+    """The vectorized path is unavailable for this execution (governor
+    degradation, column-store surprise); re-run the statement under MAX."""
+
+
+class _AlignedSource:
+    """One FROM table's compiled alignment state."""
+
+    __slots__ = (
+        "name", "binding", "alias", "colmap", "temporal",
+        "begin_index", "end_index", "kernels",
+    )
+
+    def __init__(self, name: str, binding: str) -> None:
+        self.name = name
+        self.binding = binding  # original spelling, for kernel compilation
+        self.alias = binding.lower()
+        self.colmap: dict[str, int] = {}
+        self.temporal = False
+        self.begin_index: Optional[int] = None
+        self.end_index: Optional[int] = None
+        self.kernels: list = []
+
+
+class SeqSetPlan:
+    """A compiled set-oriented plan for one sequenced SELECT."""
+
+    __slots__ = (
+        "select", "cp_alias", "sources", "residual_c", "residual_count",
+        "projections", "columns", "distinct", "temporal_tables",
+        "needs_env", "root",
+    )
+
+    def __init__(self) -> None:
+        self.select: Optional[ast.Select] = None
+        self.cp_alias = "cp"
+        self.sources: list[_AlignedSource] = []
+        self.residual_c = None
+        self.residual_count = 0
+        self.projections: list[tuple] = []
+        self.columns: list[str] = []
+        self.distinct = False
+        self.temporal_tables: list[str] = []
+        self.needs_env = False
+        self.root: Optional[IntervalJoin] = None
+
+
+def _unsupported(reason: str) -> SeqSetUnsupportedError:
+    return SeqSetUnsupportedError(reason)
+
+
+def _collect_taken_names(stmt: ast.Select) -> set[str]:
+    """Every alias or qualifier the statement uses (lowercased), so the
+    synthetic cp binding cannot capture or shadow any of them."""
+    taken: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.TableRef):
+            taken.add(node.binding.lower())
+            taken.add(node.name.lower())
+        elif isinstance(node, (ast.SubqueryRef, ast.TableFunctionRef)):
+            taken.add(node.alias.lower())
+        elif isinstance(node, ast.Name) and node.qualifier is not None:
+            taken.add(node.qualifier.lower())
+    return taken
+
+
+def compile_seqset(
+    db: Database,
+    registry: TemporalRegistry,
+    stmt: ast.Statement,
+    other_registry: Optional[TemporalRegistry] = None,
+) -> SeqSetPlan:
+    """Compile a sequenced SELECT into a :class:`SeqSetPlan`, or raise
+    :class:`SeqSetUnsupportedError` naming the first uncovered feature."""
+    if not isinstance(stmt, ast.Select):
+        raise _unsupported(
+            f"sequenced {type(stmt).__name__} has no set-oriented form"
+        )
+    if stmt.set_op:
+        raise _unsupported(f"set operation ({stmt.set_op})")
+    if stmt.group_by or stmt.having:
+        raise _unsupported("grouping (MAX groups per constant period)")
+    if stmt.order_by:
+        raise _unsupported("ORDER BY")
+    if stmt.limit is not None:
+        raise _unsupported("LIMIT")
+    if not stmt.from_items:
+        raise _unsupported("no FROM clause")
+    for item in stmt.items:
+        if item.is_star:
+            raise _unsupported("star projection")
+        if _contains_aggregate(item.expr):
+            raise _unsupported(
+                "aggregate projection (MAX aggregates per constant period)"
+            )
+    routines = analysis.reachable_routines(stmt, db.catalog)
+    if routines:
+        raise _unsupported(
+            "invokes routine(s) " + ", ".join(sorted(routines))
+        )
+    if other_registry is not None and analysis.reads_temporal(
+        stmt, db.catalog, other_registry
+    ):
+        raise _unsupported(
+            "reads temporal tables along the other time dimension"
+        )
+    for from_item in stmt.from_items:
+        if not isinstance(from_item, ast.TableRef):
+            raise _unsupported(
+                f"FROM source {type(from_item).__name__}"
+            )
+        if db.catalog.has_view(from_item.name):
+            raise _unsupported(f"view {from_item.name} in FROM")
+        if not db.catalog.has_table(from_item.name):
+            raise _unsupported(f"unknown table {from_item.name}")
+
+    # the transformed statement: modifier stripped, nested subqueries
+    # point-transformed against the synthetic cp binding (the root
+    # select's overlap predicates are replaced by the alignment itself)
+    select = clone(stmt)
+    select.modifier = None
+    cp_alias = unique_name("cp", _collect_taken_names(select))
+    point = ast.Name(qualifier=cp_alias, name="begin_time")
+    add_point_conditions(select, point, registry, skip=(select,))
+
+    executor = db.executor
+    plan = SeqSetPlan()
+    plan.select = select
+    plan.cp_alias = cp_alias
+    plan.distinct = bool(select.distinct)
+    plan.temporal_tables = analysis.reachable_temporal_tables(
+        stmt, db.catalog, registry
+    )
+
+    layout: dict = {}
+    tables = []
+    for from_item in select.from_items:
+        table = db.catalog.get_table(from_item.name)
+        source = _AlignedSource(table.name, from_item.binding)
+        if source.alias in layout:
+            raise _unsupported(f"duplicate FROM alias {source.alias}")
+        source.colmap = {
+            c.lower(): i for i, c in enumerate(table.column_names)
+        }
+        layout[source.alias] = source.colmap
+        info = registry.get(from_item.name)
+        if info is not None:
+            if not (
+                table.has_column(info.begin_column)
+                and table.has_column(info.end_column)
+            ):
+                raise _unsupported(
+                    f"{table.name} is missing its period columns"
+                )
+            source.temporal = True
+            source.begin_index = table.column_index(info.begin_column)
+            source.end_index = table.column_index(info.end_column)
+        plan.sources.append(source)
+        tables.append(table)
+    if cp_alias in layout:  # pragma: no cover - unique_name prevents this
+        raise _unsupported("cp alias collision")
+    layout_with_cp = dict(layout)
+    layout_with_cp[cp_alias] = CP_COLMAP
+
+    # conjunct classification: a conjunct with a vectorized kernel on one
+    # source is applied once over that source's aligned candidates; the
+    # rest become one compiled residual predicate per emitted combination
+    residual: list[ast.Expression] = []
+    for conjunct in _split_conjuncts(select.where):
+        kernel = None
+        for source, table in zip(plan.sources, tables):
+            kernel = _batch_kernel(
+                executor, table, source.binding, conjunct, select.from_items
+            )
+            if kernel is not None:
+                source.kernels.append(kernel)
+                break
+        if kernel is None:
+            residual.append(conjunct)
+    residual_expr = and_all(residual)
+    if residual_expr is not None:
+        plan.residual_c = compile_expression(
+            executor, residual_expr, layout_with_cp
+        )
+        if plan.residual_c is None:
+            raise _unsupported("predicate outside the compiled fragment")
+        plan.residual_count = len(residual)
+
+    for item in select.items:
+        slot = None
+        for index, (source, table) in enumerate(zip(plan.sources, tables)):
+            column = executor._column_of(
+                item.expr, table, source.binding, select.from_items
+            )
+            if column is not None:
+                slot = ("slot", index, column)
+                break
+        if slot is not None:
+            plan.projections.append(slot)
+        else:
+            compiled = compile_expression(executor, item.expr, layout_with_cp)
+            if compiled is None:
+                raise _unsupported("select item outside the compiled fragment")
+            plan.projections.append(("closure", compiled, None))
+    plan.columns = executor._output_columns(select, Env())
+    plan.needs_env = plan.residual_c is not None or any(
+        kind == "closure" for kind, _, _ in plan.projections
+    )
+    plan.root = IntervalJoin(
+        inputs=[
+            TemporalAlign(
+                name=source.name,
+                alias=source.alias,
+                pair=(
+                    (
+                        tables[i].column_names[source.begin_index],
+                        tables[i].column_names[source.end_index],
+                    )
+                    if source.temporal
+                    else None
+                ),
+                kernel_count=len(source.kernels),
+                temporal=source.temporal,
+            )
+            for i, source in enumerate(plan.sources)
+        ],
+        residual_conjuncts=plan.residual_count,
+        distinct=plan.distinct,
+    )
+    return plan
+
+
+def seqset_applicable(
+    stmt: ast.Statement,
+    db: Database,
+    registry: TemporalRegistry,
+    other_registry: Optional[TemporalRegistry] = None,
+) -> tuple[bool, str]:
+    """Can SEQ-SET evaluate this statement?  (Mirrors
+    :func:`repro.temporal.heuristic.perst_applicable`.)"""
+    try:
+        compile_seqset(db, registry, stmt, other_registry=other_registry)
+    except SeqSetUnsupportedError as exc:
+        return False, str(exc)
+    return True, ""
+
+
+def execute_seqset(
+    db: Database,
+    plan: SeqSetPlan,
+    context: Period,
+    cp_table_name: str,
+) -> tuple[list[str], list[list[Any]]]:
+    """Run a compiled plan against the materialized constant periods.
+
+    Returns ``(columns, rows)`` with the period columns appended —
+    row-identical to what MAX's transformed query would produce.
+    """
+    periods = db.catalog.get_table(cp_table_name).rows
+    period_count = len(periods)
+    period_begins = [row[0].ordinal for row in periods]
+    resilience = db.resilience
+    obs = db.obs
+
+    env = Env()
+    cp_row: list[Any] = [None, None]
+    env.bindings[plan.cp_alias] = Binding(CP_COLMAP, cp_row)
+
+    row_lists: list[list] = []
+    bucket_lists: list[list[list[int]]] = []
+    bindings: list[Binding] = []
+    for source in plan.sources:
+        table = db.read_table(source.name)
+        rows = table.rows
+        if source.temporal:
+            begin_index, end_index = source.begin_index, source.end_index
+            if db.interval_indexing_enabled:
+                index = table.interval_index(begin_index, end_index)
+                positions = index.search_positions(
+                    context.end - 1, context.begin + 1
+                )
+                obs.inc("engine.interval_index_hits")
+                pruned = len(rows) - len(positions)
+                if pruned:
+                    obs.inc("engine.interval_rows_pruned", pruned)
+            else:
+                # linear scan with the same membership rule the index
+                # documents: Date-bounded rows overlapping the context
+                # (the index is pruning-only — disabling it must never
+                # change a result)
+                positions = [
+                    position
+                    for position, row in enumerate(rows)
+                    if isinstance(row[begin_index], Date)
+                    and isinstance(row[end_index], Date)
+                    and row[begin_index].ordinal <= context.end - 1
+                    and row[end_index].ordinal >= context.begin + 1
+                ]
+        else:
+            positions = list(range(len(rows)))
+        if source.kernels:
+            if not resilience.allow_columnar(table):
+                raise SeqSetRuntimeFallback(
+                    "resource governor denied the columnar store for"
+                    f" {source.name}"
+                )
+            filtered = BatchFilter(source.kernels, True).apply(
+                table, positions, env
+            )
+            if filtered is None:
+                raise SeqSetRuntimeFallback(
+                    f"vectorized filter unavailable on {source.name}"
+                )
+            positions = filtered
+        obs.inc("engine.rows_scanned", len(positions))
+        if source.temporal:
+            buckets: list[list[int]] = [[] for _ in range(period_count)]
+            begin_index, end_index = source.begin_index, source.end_index
+            for position in positions:
+                row = rows[position]
+                lo = bisect_left(period_begins, row[begin_index].ordinal)
+                hi = bisect_left(period_begins, row[end_index].ordinal)
+                for k in range(lo, hi):
+                    buckets[k].append(position)
+        else:
+            # a non-temporal table is alive in every period (MAX cross
+            # joins it with the cp table unconditioned)
+            buckets = [positions] * period_count
+        binding = Binding(source.colmap, ())
+        env.bindings[source.alias] = binding
+        row_lists.append(rows)
+        bucket_lists.append(buckets)
+        bindings.append(binding)
+
+    columns = plan.columns + ["begin_time", "end_time"]
+    out: list[list[Any]] = []
+    projections = plan.projections
+    residual_c = plan.residual_c
+    distinct = plan.distinct
+    depth = len(plan.sources)
+
+    # fast path: single table, fully-kernelized predicate, slot-only
+    # projection — pure index arithmetic, no Env in the loop
+    if (
+        depth == 1
+        and residual_c is None
+        and not distinct
+        and not plan.needs_env
+    ):
+        indexes = [column for _, _, column in projections]
+        rows = row_lists[0]
+        buckets = bucket_lists[0]
+        armed = resilience.armed
+        for k in range(period_count):
+            if armed:
+                resilience.check()
+            bucket = buckets[k]
+            if not bucket:
+                continue
+            begin, end = periods[k]
+            for position in bucket:
+                row = rows[position]
+                values = [row[i] for i in indexes]
+                values.append(begin)
+                values.append(end)
+                out.append(values)
+        return columns, out
+
+    def expand(level: int, seen: Optional[set], begin, end) -> None:
+        rows = row_lists[level]
+        binding = bindings[level]
+        bucket = bucket_lists[level][current_period[0]]
+        last = level == depth - 1
+        for position in bucket:
+            binding.row = rows[position]
+            if not last:
+                expand(level + 1, seen, begin, end)
+                continue
+            if residual_c is not None and not truth(residual_c(env)):
+                continue
+            values = []
+            for kind, a, b in projections:
+                if kind == "slot":
+                    values.append(bindings[a].row[b])
+                else:
+                    values.append(a(env))
+            if seen is not None:
+                key = tuple(sort_key(v) for v in values)
+                if key in seen:
+                    continue
+                seen.add(key)
+            values.append(begin)
+            values.append(end)
+            out.append(values)
+
+    current_period = [0]
+    for k in range(period_count):
+        # watchdog: like MAX's loop, every period is a cancellation point
+        if resilience.armed:
+            resilience.check()
+        if any(not bucket_lists[i][k] for i in range(depth)):
+            continue
+        begin, end = periods[k]
+        cp_row[0] = begin
+        cp_row[1] = end
+        current_period[0] = k
+        # DISTINCT dedupes within a period only: under MAX the appended
+        # period columns make rows from different periods distinct
+        expand(0, set() if distinct else None, begin, end)
+    return columns, out

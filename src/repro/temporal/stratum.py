@@ -24,6 +24,7 @@ statement turns into (the paper's Figures 5-11).
 from __future__ import annotations
 
 import enum
+import re
 import time
 from typing import Any, Optional, Union
 
@@ -62,15 +63,46 @@ MAX_CP_TABLE = "taupsm_cp"
 class SlicingStrategy(enum.Enum):
     """How to evaluate a sequenced statement.
 
-    ``AUTO`` applies the paper's §VII-F rule heuristic; ``COST`` uses the
-    §VIII future-work cost model (predicted relative cost from the
-    constant-period count and expected routine invocations) instead.
+    ``AUTO`` applies the paper's §VII-F rule heuristic (extended with a
+    SEQ-SET rule); ``COST`` uses the §VIII future-work cost model
+    (predicted relative cost from the constant-period count and expected
+    routine invocations) instead.  ``SEQSET`` compiles routine-free
+    queries into one set-oriented pass (interval alignment + interval
+    join, :mod:`repro.temporal.seqset`) and transparently falls back to
+    MAX whenever a routine is invoked or the shape is not covered.
     """
 
     MAX = "max"
     PERST = "perst"
     AUTO = "auto"
     COST = "cost"
+    SEQSET = "seqset"
+
+
+_SET_STRATEGY_RE = re.compile(
+    r"^\s*SET\s+STRATEGY\s+(\w+)\s*;?\s*$", re.IGNORECASE
+)
+
+
+def parse_set_strategy(sql: str) -> Optional[SlicingStrategy]:
+    """Recognize the session statement ``SET STRATEGY <name>``.
+
+    Returns the named :class:`SlicingStrategy`, ``None`` when ``sql`` is
+    not a SET STRATEGY statement at all, and raises
+    :class:`TemporalError` for an unknown strategy name — callers (the
+    shell, a server session) intercept this before the SQL parser sees
+    the text.
+    """
+    match = _SET_STRATEGY_RE.match(sql)
+    if match is None:
+        return None
+    try:
+        return SlicingStrategy(match.group(1).lower())
+    except ValueError:
+        names = ", ".join(member.value for member in SlicingStrategy)
+        raise TemporalError(
+            f"unknown strategy {match.group(1)!r}; expected one of: {names}"
+        ) from None
 
 
 class TemporalResult:
@@ -128,6 +160,9 @@ class TemporalStratum:
         self.last_strategy: Optional[SlicingStrategy] = None
         # the CostEstimate behind the most recent COST-mode decision
         self.last_estimate = None
+        # why the most recent SEQ-SET attempt fell back to MAX (None
+        # when the last sequenced statement ran without a fallback)
+        self.last_fallback: Optional[str] = None
         # transaction clock: None tracks db.now; set a past date for
         # time-travel ("as of") reads of transaction-time tables
         self.transaction_clock: Optional[Date] = None
@@ -737,31 +772,54 @@ class TemporalStratum:
             return execute_sequenced_modification(
                 self.db, registry, plain, context
             )
+        self.last_fallback = None
+        other_registry = (
+            self.registry if registry is self.tt_registry else self.tt_registry
+        )
         if strategy is SlicingStrategy.AUTO:
             from repro.temporal.heuristic import choose_strategy
 
             strategy = choose_strategy(
-                stmt, self.db, registry, context
+                stmt, self.db, registry, context,
+                other_registry=other_registry,
             ).strategy
         elif strategy is SlicingStrategy.COST:
             from repro.temporal.heuristic import estimate_costs, perst_applicable
+            from repro.temporal.seqset import seqset_applicable
 
             applicable, _why = perst_applicable(stmt, self.db, registry)
-            if not applicable:
+            covered, _s_why = seqset_applicable(
+                stmt, self.db, registry, other_registry=other_registry
+            )
+            if not applicable and not covered:
                 strategy = SlicingStrategy.MAX
             else:
                 # measured unit costs when the registry has samples,
                 # static calibration otherwise
                 estimate = estimate_costs(
-                    stmt, self.db, registry, context, obs=self.db.obs
+                    stmt, self.db, registry, context, obs=self.db.obs,
+                    include_seqset=covered,
                 )
                 self.last_estimate = estimate
-                strategy = (
-                    SlicingStrategy.PERST
-                    if estimate.prefers_perst
-                    else SlicingStrategy.MAX
-                )
+                candidates = [(estimate.max_cost, 0, SlicingStrategy.MAX)]
+                if applicable:
+                    candidates.append(
+                        (estimate.perst_cost, 1, SlicingStrategy.PERST)
+                    )
+                if covered and estimate.seqset_cost is not None:
+                    candidates.append(
+                        (estimate.seqset_cost, 2, SlicingStrategy.SEQSET)
+                    )
+                strategy = min(candidates)[2]
         self.last_strategy = strategy
+        if strategy is SlicingStrategy.SEQSET:
+            outcome = self._execute_sequenced_seqset(stmt, context, registry)
+            if outcome is not NotImplemented:
+                return outcome
+            # transparent fallback: MAX reproduces results (and errors)
+            # for every statement SEQ-SET declines
+            self.last_strategy = SlicingStrategy.MAX
+            return self._execute_sequenced_max(stmt, context, registry)
         if strategy is SlicingStrategy.MAX:
             return self._execute_sequenced_max(stmt, context, registry)
         return self._execute_sequenced_perst(stmt, context, registry)
@@ -892,6 +950,85 @@ class TemporalStratum:
             elapsed, stats.total_routine_calls - calls_before
         )
         return stamped
+
+    # -- SEQ-SET ------------------------------------------------------------
+
+    def _execute_sequenced_seqset(
+        self,
+        stmt: ast.Statement,
+        context: Period,
+        registry: Optional[TemporalRegistry] = None,
+    ) -> Union[TemporalResult, Any]:
+        """One set-oriented pass (:mod:`repro.temporal.seqset`).
+
+        Returns ``NotImplemented`` when the statement is outside the
+        covered fragment (or the vectorized path degrades at run time);
+        the caller then re-runs it under MAX, with the reason recorded
+        in :attr:`last_fallback`.
+        """
+        from repro.temporal.seqset import (
+            SeqSetRuntimeFallback,
+            SeqSetUnsupportedError,
+            compile_seqset,
+            execute_seqset,
+        )
+
+        registry = registry if registry is not None else self.registry
+        dim = "tt" if registry is self.tt_registry else "vt"
+        other_registry = (
+            self.registry if registry is self.tt_registry else self.tt_registry
+        )
+        tracer = self.db.tracer
+        key = self._cache_key("seqset", stmt, dim)
+        cached = self._transform_fetch(key)
+        if cached is not None:
+            with tracer.span("stratum.transform", strategy="seqset", dim=dim) as span:
+                span.set(cached=True)
+                tag, payload = cached
+            if tag == "fallback":
+                self.last_fallback = payload
+                return NotImplemented
+            plan = payload
+        else:
+            with tracer.span("stratum.transform", strategy="seqset", dim=dim) as span:
+                span.set(cached=False)
+                self.db.stats.transforms += 1
+                try:
+                    plan = compile_seqset(
+                        self.db, registry, stmt, other_registry=other_registry
+                    )
+                except SeqSetUnsupportedError as exc:
+                    span.set(fallback=str(exc))
+                    # negative entries are cached too: re-deciding the
+                    # fallback must not recompile on every execution
+                    self._transform_store(key, ("fallback", str(exc)))
+                    self.last_fallback = str(exc)
+                    return NotImplemented
+            self._transform_store(key, ("plan", plan))
+        with tracer.span("stratum.constant_periods", cp_table=MAX_CP_TABLE) as span:
+            slices = materialize_constant_periods(
+                self.db, plan.temporal_tables, registry, context, MAX_CP_TABLE
+            )
+            span.set(slices=slices)
+        data_rows = sum(
+            len(self.db.catalog.get_table(name))
+            for name in plan.temporal_tables
+        )
+        started = time.perf_counter()
+        try:
+            with tracer.span("stratum.seqset.execute", slices=slices):
+                columns, rows = execute_seqset(
+                    self.db, plan, context, MAX_CP_TABLE
+                )
+        except SeqSetRuntimeFallback as exc:
+            self.last_fallback = str(exc)
+            return NotImplemented
+        # per-row mean over the temporal data, the measured-cost model's
+        # SEQ-SET unit (one aligned pass, like PERST's single pass)
+        self.db.obs.timer("stratum.seqset.row_seconds").record(
+            time.perf_counter() - started, data_rows
+        )
+        return TemporalResult(columns, rows)
 
     # -- PERST --------------------------------------------------------------
 

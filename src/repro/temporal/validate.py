@@ -91,18 +91,21 @@ def check_strategy_equivalence(
     sequenced_sql: str,
     context: Period,
 ) -> tuple[bool, str]:
-    """MAX and PERST must produce snapshot-equivalent results.
+    """MAX, PERST, and SEQ-SET must produce snapshot-equivalent results
+    (SEQ-SET transparently falls back to MAX on uncovered shapes, so it
+    is safe to demand of every statement).
 
     Handles both SELECT statements (one TemporalResult) and CALL
     statements (a list of stamped result sets, compared pooled).
     """
     max_result = stratum.execute(sequenced_sql, strategy=SlicingStrategy.MAX)
-    perst_result = stratum.execute(sequenced_sql, strategy=SlicingStrategy.PERST)
     left = _pooled_coalesced(max_result, context)
-    right = _pooled_coalesced(perst_result, context)
-    if left == right:
-        return True, "strategies agree"
-    return False, _diff_message(left, right)
+    for strategy in (SlicingStrategy.PERST, SlicingStrategy.SEQSET):
+        other = stratum.execute(sequenced_sql, strategy=strategy)
+        right = _pooled_coalesced(other, context)
+        if left != right:
+            return False, f"{strategy.value}: {_diff_message(left, right)}"
+    return True, "strategies agree"
 
 
 def check_call_commutativity(

@@ -1,0 +1,147 @@
+"""Differential fuzzing of SEQ-SET against MAX.
+
+SEQ-SET's contract is stronger than snapshot equivalence: on every
+covered statement it must reproduce MAX's *raw* rows — order,
+duplicates, fragmentation, column names — and on every uncovered
+statement it must fall back to MAX transparently (recording why).
+Three generators drive this:
+
+* Hypothesis version histories × the routine-free query family
+  (selection, join, self-join, DISTINCT) — raw-row identity;
+* the routine-bearing query — transparent fallback with identical
+  results;
+* the full 16-query τPSM suite — every query invokes a routine, so all
+  of them must take the fallback and still match MAX exactly.
+
+Golden EXPLAIN snapshots pin the plan shape (``TemporalAlign`` /
+``IntervalJoin`` nodes) and the fallback decision line.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sqlengine.values import Date
+from repro.taubench import ALL_QUERIES
+from repro.temporal import SlicingStrategy
+
+from tests.conftest import GET_AUTHOR_NAME, make_bookstore
+from tests.integration.test_fuzz_sequenced import (
+    CONTEXT,
+    FN_QUERY,
+    QUERIES,
+    build_stratum,
+    versions,
+)
+from tests.obs.test_explain import check_golden
+
+BEGIN, END = "2010-02-01", "2010-03-01"
+
+
+def raw(result):
+    """Rows exactly as delivered: order and duplicates preserved."""
+    if isinstance(result, list):  # CALL loops yield one result per slice
+        return [raw(r) for r in result]
+    return (list(result.columns), [list(row) for row in result.rows])
+
+
+def sequenced(query):
+    return (
+        f"VALIDTIME [DATE '{Date(CONTEXT.begin).to_iso()}',"
+        f" DATE '{Date(CONTEXT.end).to_iso()}'] " + query
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(fact=versions, dim=versions, query_index=st.integers(0, len(QUERIES) - 1))
+def test_random_histories_seqset_equals_max_raw(fact, dim, query_index):
+    """Covered shapes: the set-oriented pass is row-identical to MAX."""
+    stratum = build_stratum(fact, dim)
+    sql = sequenced(QUERIES[query_index])
+    reference = raw(stratum.execute(sql, strategy=SlicingStrategy.MAX))
+    result = raw(stratum.execute(sql, strategy=SlicingStrategy.SEQSET))
+    assert stratum.last_strategy is SlicingStrategy.SEQSET
+    assert stratum.last_fallback is None
+    assert result == reference, QUERIES[query_index]
+    # AUTO routes the same routine-free statements through rule (s)
+    auto = raw(stratum.execute(sql, strategy=SlicingStrategy.AUTO))
+    assert stratum.last_strategy is SlicingStrategy.SEQSET
+    assert auto == reference
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(fact=versions, dim=versions)
+def test_random_histories_routine_query_falls_back(fact, dim):
+    """Uncovered shapes: requesting SEQ-SET transparently re-runs under
+    MAX, records the reason, and the rows are exactly MAX's."""
+    stratum = build_stratum(fact, dim)
+    sql = sequenced(FN_QUERY)
+    reference = raw(stratum.execute(sql, strategy=SlicingStrategy.MAX))
+    result = raw(stratum.execute(sql, strategy=SlicingStrategy.SEQSET))
+    assert result == reference
+    assert stratum.last_strategy is SlicingStrategy.MAX
+    assert stratum.last_fallback is not None
+    assert "value_of" in stratum.last_fallback
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.name)
+def test_taubench_seqset_equals_max(query, small_dataset):
+    """Every τPSM query invokes a routine, so under SEQ-SET all sixteen
+    must take the MAX fallback — and stay row-identical to MAX."""
+    query.install(small_dataset)
+    sql = query.sequenced_sql(small_dataset, BEGIN, END)
+    stratum = small_dataset.stratum
+    reference = raw(stratum.execute(sql, strategy=SlicingStrategy.MAX))
+    result = raw(stratum.execute(sql, strategy=SlicingStrategy.SEQSET))
+    assert result == reference, query.name
+    assert stratum.last_strategy is SlicingStrategy.MAX
+    assert stratum.last_fallback is not None
+
+
+class TestGoldenSeqSetExplain:
+    """Pin the EXPLAIN renderings: the set-oriented plan tree and the
+    compile-time fallback decision."""
+
+    @pytest.fixture
+    def stratum(self):
+        s = make_bookstore()
+        s.register_routine(GET_AUTHOR_NAME)
+        return s
+
+    def test_plan_tree(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT a.first_name, i.price FROM author a, item i"
+            " WHERE a.author_id = i.author_id AND i.price > 10.0",
+            strategy=SlicingStrategy.SEQSET,
+        )
+        text = result.text()
+        assert "IntervalJoin" in text
+        assert "TemporalAlign" in text
+        check_golden("seqset_join_plan", text)
+
+    def test_auto_rule_s(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT first_name FROM author WHERE author_id = 'a1'"
+        )
+        text = result.text()
+        assert "rule s" in text
+        check_golden("seqset_auto_rule_s", text)
+
+    def test_fallback_decision(self, stratum):
+        result = stratum.execute(
+            "EXPLAIN VALIDTIME [DATE '2010-02-01', DATE '2010-03-01']"
+            " SELECT get_author_name('a1') AS name FROM author",
+            strategy=SlicingStrategy.SEQSET,
+        )
+        text = result.text()
+        assert "seqset: fallback to max" in text
+        check_golden("seqset_fallback", text)

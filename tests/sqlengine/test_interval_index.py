@@ -94,6 +94,24 @@ class TestIntervalIndex:
         assert index.entry_count == 0
         assert index.search(10**6, 0) == []
 
+    def test_null_bounded_rows_never_indexed(self):
+        """The documented contract: a row with *any* non-Date bound is
+        excluded from the index — an all-covering probe returns only the
+        fully Date-bounded rows (SEQ-SET's alignment and the executor's
+        probe both rely on this matching NULL-comparison semantics)."""
+        rows = [
+            [Date(100), Date(200)],
+            [Null, Date(150)],
+            [Date(120), Null],
+            [Null, Null],
+            [Date(300), Date(400)],
+        ]
+        index = IntervalIndex(rows, 0, 1)
+        assert index.entry_count == 2
+        assert index.total_rows == 5
+        assert index.search(10**6, 0) == [rows[0], rows[4]]
+        assert index.search_positions(10**6, 0) == [0, 4]
+
 
 def interval_table(name="t"):
     table = Table(

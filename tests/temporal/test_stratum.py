@@ -95,19 +95,30 @@ class TestContexts:
 
 
 class TestAutoStrategy:
-    def test_auto_picks_and_records(self, stratum):
+    def test_auto_routine_free_is_seqset(self, stratum):
+        """Rule (s): a routine-free covered query takes the set-oriented
+        plan ahead of the paper's MAX/PERST rules."""
         stratum.execute(
             "VALIDTIME [DATE '2010-02-01', DATE '2010-02-08']"
             " SELECT first_name FROM author WHERE author_id = 'a1'",
             strategy=SlicingStrategy.AUTO,
         )
+        assert stratum.last_strategy is SlicingStrategy.SEQSET
+
+    def test_auto_picks_and_records(self, stratum):
+        stratum.execute(
+            "VALIDTIME [DATE '2010-02-01', DATE '2010-02-08']"
+            " SELECT get_author_name('a1') AS name FROM author",
+            strategy=SlicingStrategy.AUTO,
+        )
         assert stratum.last_strategy in (SlicingStrategy.MAX, SlicingStrategy.PERST)
 
     def test_auto_small_short_context_is_max(self, stratum):
-        """§VII-F rule (c): small database and short context."""
+        """§VII-F rule (c): small database and short context.  The query
+        invokes a routine so rule (s) does not short-circuit."""
         stratum.execute(
             "VALIDTIME [DATE '2010-02-01', DATE '2010-02-03']"
-            " SELECT first_name FROM author WHERE author_id = 'a1'",
+            " SELECT get_author_name('a1') AS name FROM author",
             strategy=SlicingStrategy.AUTO,
         )
         assert stratum.last_strategy is SlicingStrategy.MAX
